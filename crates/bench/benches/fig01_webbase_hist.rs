@@ -1,0 +1,59 @@
+//! Figure 1: row histogram of webbase-1M with the high-density cutoff.
+//!
+//! "Of the 1,000,005 rows in this matrix, there are very few rows with at
+//! least 60 nonzeros per row, and the large number of rows have less than
+//! 60 nonzeros." Prints the log-binned histogram series (the figure's
+//! bars) and the count of rows at or above the paper's threshold of 60.
+
+use criterion::Criterion;
+use spmm_bench::{banner, emit_json, load, scale};
+use spmm_sparse::RowHistogram;
+
+/// The threshold annotated in the paper's Figure 1.
+const PAPER_THRESHOLD: usize = 60;
+
+fn figure() {
+    banner("Figure 1", "row histogram of webbase-1M (log-scale Y)");
+    let m = load("webbase-1M");
+    let h = RowHistogram::from_matrix(&m);
+    println!("{:>12} {:>12}", "row size ≥", "rows");
+    let binned = h.log_binned();
+    for &(lo, n) in &binned {
+        let bar = "#".repeat(((n as f64).log10().max(0.0) * 6.0) as usize + 1);
+        println!("{lo:>12} {n:>12}  {bar}");
+    }
+    let hd = h.high_density_rows(PAPER_THRESHOLD);
+    let frac = hd as f64 / h.nrows() as f64;
+    println!(
+        "\nrows with ≥ {PAPER_THRESHOLD} nonzeros: {hd} of {} ({:.4}%)",
+        h.nrows(),
+        frac * 100.0
+    );
+    println!(
+        "paper: \"very few rows have at least 60 nonzeros\" — reproduced: {}",
+        if frac < 0.05 { "YES" } else { "NO" }
+    );
+    emit_json(
+        "fig01_webbase_hist",
+        &serde_json::json!({
+            "scale": scale(),
+            "threshold": PAPER_THRESHOLD,
+            "hd_rows": hd,
+            "total_rows": h.nrows(),
+            "bins": binned.iter().map(|&(lo, n)| serde_json::json!([lo, n])).collect::<Vec<_>>(),
+        }),
+    );
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode {
+        figure();
+    }
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    let m = load("webbase-1M");
+    c.bench_function("fig01/row_histogram/webbase-1M", |b| {
+        b.iter(|| RowHistogram::from_matrix(std::hint::black_box(&m)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,62 @@
+//! Figure 5: row-density histograms of all 12 matrices, each annotated
+//! with the threshold used in the experiments and the number of
+//! high-density ("HD") rows it induces.
+//!
+//! The thresholds come from the same Phase I empirical search HH-CPU uses
+//! (the paper tunes them offline per matrix).
+
+use criterion::Criterion;
+use spmm_bench::{all_datasets, banner, context_for, emit_json, load, scale};
+use spmm_core::{threshold, ThresholdPolicy};
+use spmm_sparse::RowHistogram;
+
+fn figure() {
+    banner(
+        "Figure 5",
+        "row histograms + per-matrix threshold + HD row count",
+    );
+    let mut rows = Vec::new();
+    for (entry, m) in all_datasets() {
+        let ctx = context_for(entry.name);
+        let th = threshold::identify(&ctx, &m, &m, ThresholdPolicy::default());
+        let h = RowHistogram::from_matrix(&m);
+        let hd = h.high_density_rows(th.t_a);
+        println!(
+            "\n{} — rows {} nnz {} | Threshold = {}, HD = {}",
+            entry.name,
+            m.nrows(),
+            m.nnz(),
+            th.t_a,
+            hd
+        );
+        for &(lo, n) in h.log_binned().iter().take(14) {
+            let marker = if lo >= th.t_a { "HD" } else { "  " };
+            let bar = "#".repeat(((n as f64).log10().max(0.0) * 5.0) as usize + 1);
+            println!("  {marker} size≥{lo:<8} {n:>10} {bar}");
+        }
+        rows.push(serde_json::json!({
+            "name": entry.name,
+            "threshold": th.t_a,
+            "hd_rows": hd,
+            "bins": h.log_binned().iter().map(|&(lo, n)| serde_json::json!([lo, n])).collect::<Vec<_>>(),
+        }));
+    }
+    emit_json(
+        "fig05_row_histograms",
+        &serde_json::json!({"scale": scale(), "matrices": rows}),
+    );
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode {
+        figure();
+    }
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    let m = load("email-Enron");
+    let ctx = spmm_bench::context();
+    c.bench_function("fig05/threshold_search/email-Enron", |b| {
+        b.iter(|| threshold::identify(&ctx, &m, &m, ThresholdPolicy::default()))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,96 @@
+//! Figure 6: overall speedup of HH-CPU over the HiPC-2012 heterogeneous
+//! baseline on every Table I matrix (self-product A × A), plus the
+//! headline ratios against the vendor-library stand-ins.
+//!
+//! Paper: "the HH-CPU method is able to perform on average 25% faster
+//! compared to the results of [13]. Our results also outperform the
+//! results of cusparse and Intel MKL by 4x and 3.6x respectively."
+
+use criterion::Criterion;
+use spmm_bench::{all_datasets, banner, context_for, emit_json, geomean, load, mean, scale};
+use spmm_core::{cusparse_like, hh_cpu, hipc2012, mkl_like, HhCpuConfig};
+
+fn figure() {
+    banner(
+        "Figure 6",
+        "HH-CPU speedup over HiPC2012 per matrix (+ avg, + vendor ratios)",
+    );
+    println!(
+        "{:>16} {:>8} | {:>10} {:>10} | {:>9} {:>9} {:>9}",
+        "matrix", "α", "HH-CPU ms", "HiPC ms", "vs HiPC", "vs MKL", "vs cuSP"
+    );
+    let mut rows = Vec::new();
+    let (mut s_hipc, mut s_mkl, mut s_cus) = (Vec::new(), Vec::new(), Vec::new());
+    for (entry, a) in all_datasets() {
+        let mut ctx = context_for(entry.name);
+        let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        let hi = hipc2012(&mut ctx, &a, &a);
+        let mkl = mkl_like(&mut ctx, &a, &a);
+        let cus = cusparse_like(&mut ctx, &a, &a);
+        let (v_hipc, v_mkl, v_cus) = (
+            hh.speedup_over(&hi),
+            hh.speedup_over(&mkl),
+            hh.speedup_over(&cus),
+        );
+        println!(
+            "{:>16} {:>8.2} | {:>10.2} {:>10.2} | {:>9.3} {:>9.3} {:>9.3}",
+            entry.name,
+            entry.alpha,
+            hh.total_ns() / 1e6,
+            hi.total_ns() / 1e6,
+            v_hipc,
+            v_mkl,
+            v_cus
+        );
+        s_hipc.push(v_hipc);
+        s_mkl.push(v_mkl);
+        s_cus.push(v_cus);
+        rows.push(serde_json::json!({
+            "name": entry.name, "alpha": entry.alpha,
+            "hh_ms": hh.total_ns() / 1e6, "hipc_ms": hi.total_ns() / 1e6,
+            "speedup_vs_hipc2012": v_hipc,
+            "speedup_vs_mkl": v_mkl,
+            "speedup_vs_cusparse": v_cus,
+            "threshold": hh.threshold_a, "hd_rows": hh.hd_rows_a,
+        }));
+    }
+    println!(
+        "{:>16} {:>8} | {:>10} {:>10} | {:>9.3} {:>9.3} {:>9.3}",
+        "Average",
+        "",
+        "",
+        "",
+        mean(&s_hipc),
+        mean(&s_mkl),
+        mean(&s_cus)
+    );
+    println!(
+        "(geomean: vs HiPC {:.3}, vs MKL {:.3}, vs cuSPARSE {:.3})",
+        geomean(&s_hipc),
+        geomean(&s_mkl),
+        geomean(&s_cus)
+    );
+    println!("\npaper: avg 1.25x vs HiPC2012; 3.6x vs MKL; 4x vs cuSPARSE (full scale)");
+    emit_json(
+        "fig06_overall_speedup",
+        &serde_json::json!({
+            "scale": scale(),
+            "rows": rows,
+            "average": {"vs_hipc2012": mean(&s_hipc), "vs_mkl": mean(&s_mkl), "vs_cusparse": mean(&s_cus)},
+        }),
+    );
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode {
+        figure();
+    }
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    let a = load("wiki-Vote");
+    let mut ctx = spmm_bench::context();
+    c.bench_function("fig06/hh_cpu/wiki-Vote", |b| {
+        b.iter(|| hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default()))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,76 @@
+//! Figure 7: breakdown of HH-CPU's time across its four phases.
+//!
+//! Paper: "Phases II and III dominate the overall time taken and add up to
+//! more than 96% of the overall time … the difference between the GPU and
+//! the CPU runtime within each phase is on average under 2% of the overall
+//! runtime."
+
+use criterion::Criterion;
+use spmm_bench::{all_datasets, banner, context_for, emit_json, load, mean, scale};
+use spmm_core::{hh_cpu, HhCpuConfig};
+
+fn figure() {
+    banner("Figure 7", "per-phase time breakdown of HH-CPU");
+    println!(
+        "{:>16} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>7} {:>7}",
+        "matrix", "I ms", "II ms", "III ms", "IV ms", "xfer ms", "II+III%", "imbal%"
+    );
+    let mut rows = Vec::new();
+    let mut fracs = Vec::new();
+    let mut imbalances = Vec::new();
+    for (entry, a) in all_datasets() {
+        let mut ctx = context_for(entry.name);
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        let p = out.profile;
+        let walls = p.walls();
+        let total = p.total();
+        let frac = p.compute_fraction() * 100.0;
+        // per-phase CPU/GPU gap, averaged over the overlapped phases,
+        // relative to the run (§V-B b's "under 2%" observable)
+        let imbal = (p.phase2.imbalance() + p.phase3.imbalance()) / 2.0 / total * 100.0;
+        println!(
+            "{:>16} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>6.1}% {:>6.1}%",
+            entry.name,
+            walls[0] / 1e6,
+            walls[1] / 1e6,
+            walls[2] / 1e6,
+            walls[3] / 1e6,
+            p.transfer_ns / 1e6,
+            frac,
+            imbal
+        );
+        fracs.push(frac);
+        imbalances.push(imbal);
+        rows.push(serde_json::json!({
+            "name": entry.name,
+            "phase_ms": walls.iter().map(|w| w / 1e6).collect::<Vec<_>>(),
+            "transfer_ms": p.transfer_ns / 1e6,
+            "compute_fraction": frac,
+            "imbalance_pct": imbal,
+        }));
+    }
+    println!(
+        "\naverage II+III share: {:.1}% (paper: > 96%); average imbalance: {:.1}% (paper: < 2%)",
+        mean(&fracs),
+        mean(&imbalances)
+    );
+    emit_json(
+        "fig07_phase_breakdown",
+        &serde_json::json!({"scale": scale(), "rows": rows,
+            "avg_compute_fraction": mean(&fracs), "avg_imbalance_pct": mean(&imbalances)}),
+    );
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode {
+        figure();
+    }
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    let a = load("ca-CondMat");
+    let mut ctx = spmm_bench::context();
+    c.bench_function("fig07/hh_cpu_profile/ca-CondMat", |b| {
+        b.iter(|| hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default()).profile)
+    });
+    c.final_summary();
+}

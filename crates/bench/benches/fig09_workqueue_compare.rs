@@ -1,0 +1,77 @@
+//! Figure 9: HH-CPU against Algorithm Unsorted-Workqueue and Algorithm
+//! Sorted-Workqueue.
+//!
+//! Paper: "the overall time taken for Algorithm HH-CPU is 15% smaller on
+//! average compared to either … on scale-free matrices" — evidence that
+//! "mere load balancing across devices may not be sufficient … the
+//! algorithm should also be architecture-aware."
+
+use criterion::Criterion;
+use spmm_bench::{all_datasets, banner, context_for, emit_json, load, mean, scale};
+use spmm_core::{hh_cpu, sorted_workqueue, unsorted_workqueue, HhCpuConfig, WorkUnitConfig};
+
+/// The paper's Figure 9 averages over the *scale-free* matrices only.
+fn is_scale_free(alpha: f64) -> bool {
+    alpha < 10.0
+}
+
+fn figure() {
+    banner(
+        "Figure 9",
+        "HH-CPU speedup over Unsorted-Workqueue and Sorted-Workqueue",
+    );
+    println!(
+        "{:>16} {:>8} | {:>12} {:>12}",
+        "matrix", "α", "vs Unsorted", "vs Sorted"
+    );
+    let mut rows = Vec::new();
+    let (mut s_uns, mut s_srt) = (Vec::new(), Vec::new());
+    for (entry, a) in all_datasets() {
+        let mut ctx = context_for(entry.name);
+        let units = WorkUnitConfig::auto(a.nrows());
+        let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        let uns = unsorted_workqueue(&mut ctx, &a, &a, units);
+        let srt = sorted_workqueue(&mut ctx, &a, &a, units);
+        let (v_uns, v_srt) = (hh.speedup_over(&uns), hh.speedup_over(&srt));
+        println!(
+            "{:>16} {:>8.2} | {:>12.3} {:>12.3}",
+            entry.name, entry.alpha, v_uns, v_srt
+        );
+        if is_scale_free(entry.alpha) {
+            s_uns.push(v_uns);
+            s_srt.push(v_srt);
+        }
+        rows.push(serde_json::json!({
+            "name": entry.name, "alpha": entry.alpha,
+            "speedup_vs_unsorted": v_uns, "speedup_vs_sorted": v_srt,
+        }));
+    }
+    println!(
+        "{:>16} {:>8} | {:>12.3} {:>12.3}   (scale-free matrices only)",
+        "Average",
+        "",
+        mean(&s_uns),
+        mean(&s_srt)
+    );
+    println!("\npaper: ~1.15x on average over either baseline on scale-free matrices");
+    emit_json(
+        "fig09_workqueue_compare",
+        &serde_json::json!({"scale": scale(), "rows": rows,
+            "average_scale_free": {"vs_unsorted": mean(&s_uns), "vs_sorted": mean(&s_srt)}}),
+    );
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode {
+        figure();
+    }
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    let a = load("wiki-Vote");
+    let mut ctx = spmm_bench::context();
+    let units = WorkUnitConfig::auto(a.nrows());
+    c.bench_function("fig09/unsorted_workqueue/wiki-Vote", |b| {
+        b.iter(|| unsorted_workqueue(&mut ctx, &a, &a, units))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,84 @@
+//! Figure 10: HH-CPU speedup over HiPC2012 on synthetic matrices as a
+//! function of the power-law exponent α.
+//!
+//! Paper setup (§V-D): GTgraph-style generator, three sizes (100K, 500K,
+//! 1M rows), α swept over [3, 6.5] in steps of 0.5, `A × B` with *distinct*
+//! A and B of the same α. Expected shape: "as α increases, the speedup
+//! achieved by Algorithm HH-CPU decreases"; the 100K series sits above the
+//! larger sizes (Phase IV grows with the tuple count).
+
+use criterion::Criterion;
+use spmm_bench::{banner, context, emit_json, scale};
+use spmm_core::{hh_cpu, hipc2012, HhCpuConfig};
+use spmm_scalefree::{fit_power_law, scale_free_matrix, GeneratorConfig};
+use spmm_sparse::CsrMatrix;
+
+/// Paper sizes, shrunk by the configured scale.
+fn sizes() -> Vec<(&'static str, usize)> {
+    let s = scale();
+    vec![
+        ("100K", 100_000 / s),
+        ("500K", 500_000 / s),
+        ("1M", 1_000_000 / s),
+    ]
+}
+
+/// Mean nonzeros per row for the synthetic inputs (GTgraph is driven by an
+/// edge budget; we keep webbase-like density).
+const MEAN_ROW: usize = 4;
+
+fn gen(n: usize, alpha: f64, seed: u64) -> CsrMatrix<f64> {
+    scale_free_matrix(&GeneratorConfig::square_power_law(n, n * MEAN_ROW, alpha, seed))
+}
+
+fn figure() {
+    banner(
+        "Figure 10",
+        "HH-CPU speedup over HiPC2012 vs power-law exponent α (3 sizes)",
+    );
+    let mut ctx = context();
+    let alphas: Vec<f64> = (0..8).map(|k| 3.0 + 0.5 * k as f64).collect();
+    let mut series_json = Vec::new();
+    for (label, n) in sizes() {
+        println!("\nsize {label} ({n} rows):");
+        println!("{:>8} {:>10} {:>12} {:>12}", "α(gen)", "α(fit)", "speedup", "tuples");
+        let mut series = Vec::new();
+        for (k, &alpha) in alphas.iter().enumerate() {
+            let a = gen(n, alpha, 1000 + k as u64);
+            let b = gen(n, alpha, 2000 + k as u64);
+            let fit = fit_power_law(&a.row_sizes()).map(|f| f.alpha).unwrap_or(f64::NAN);
+            let hh = hh_cpu(&mut ctx, &a, &b, &HhCpuConfig::default());
+            let hi = hipc2012(&mut ctx, &a, &b);
+            let speedup = hh.speedup_over(&hi);
+            println!(
+                "{:>8.1} {:>10.2} {:>12.3} {:>12}",
+                alpha, fit, speedup, hh.tuples_merged
+            );
+            series.push(serde_json::json!({
+                "alpha": alpha, "alpha_fit": fit, "speedup": speedup,
+                "tuples": hh.tuples_merged,
+            }));
+        }
+        series_json.push(serde_json::json!({"size": label, "rows": n, "points": series}));
+    }
+    println!("\npaper: speedup decreases with α; 100K series above 500K/1M");
+    emit_json(
+        "fig10_synthetic_alpha",
+        &serde_json::json!({"scale": scale(), "mean_row": MEAN_ROW, "series": series_json}),
+    );
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode {
+        figure();
+    }
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    let a = gen(4_000, 3.0, 7);
+    let b = gen(4_000, 3.0, 8);
+    let mut ctx = context();
+    c.bench_function("fig10/hh_cpu/synthetic-alpha3", |b2| {
+        b2.iter(|| hh_cpu(&mut ctx, &a, &b, &HhCpuConfig::default()))
+    });
+    c.final_summary();
+}

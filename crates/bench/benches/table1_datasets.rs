@@ -1,0 +1,52 @@
+//! Table I: the 12-matrix dataset — rows, nnz, and the power-law exponent
+//! α of the row-size distribution.
+//!
+//! Regenerates the table from the synthetic clones: prints, per matrix,
+//! the paper's published (rows, nnz, α) next to the clone's actual values
+//! with α re-measured by our CSN/MLE fitter (the stand-in for the Alstott
+//! `powerlaw` package the paper uses).
+
+use criterion::Criterion;
+use spmm_bench::{banner, emit_json, load, scale};
+use spmm_scalefree::{fit_power_law, CATALOG};
+
+fn figure() {
+    banner("Table I", "dataset properties: rows, nnz, power-law exponent α");
+    println!(
+        "{:>16} {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} {:>6}",
+        "matrix", "rows", "nnz", "α(paper)", "rows'", "nnz'", "α(fit)", "xmin"
+    );
+    let mut rows = Vec::new();
+    for entry in CATALOG {
+        let m = load(entry.name);
+        let fit = fit_power_law(&m.row_sizes());
+        let (alpha, xmin) = fit.map(|f| (f.alpha, f.xmin)).unwrap_or((f64::NAN, 0));
+        println!(
+            "{:>16} {:>10} {:>10} {:>8.2} | {:>10} {:>10} {:>8.2} {:>6}",
+            entry.name, entry.rows, entry.nnz, entry.alpha, m.nrows(), m.nnz(), alpha, xmin
+        );
+        rows.push(serde_json::json!({
+            "name": entry.name,
+            "paper": {"rows": entry.rows, "nnz": entry.nnz, "alpha": entry.alpha},
+            "clone": {"rows": m.nrows(), "nnz": m.nnz(), "alpha": alpha, "xmin": xmin},
+        }));
+    }
+    emit_json(
+        "table1_datasets",
+        &serde_json::json!({"scale": scale(), "rows": rows}),
+    );
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if !test_mode {
+        figure();
+    }
+    let mut c = Criterion::default().configure_from_args().sample_size(10);
+    let m = load("wiki-Vote");
+    let sizes = m.row_sizes();
+    c.bench_function("table1/fit_power_law/wiki-Vote", |b| {
+        b.iter(|| fit_power_law(std::hint::black_box(&sizes)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,126 @@
+//! Shared harness for the figure/table benches.
+//!
+//! Every bench in `benches/` regenerates one table or figure of the paper:
+//! it computes the figure's data series on the simulated platform, prints
+//! the rows the paper reports, writes a JSON artifact under
+//! `target/experiments/`, and registers a small criterion group so the
+//! whole suite runs under `cargo bench --workspace`.
+//!
+//! Scale: `SPMM_SCALE` (default 32) shrinks the Table I clones by that
+//! factor and pairs them with [`Platform::scaled`] so cache:working-set,
+//! transfer:compute, and launch:grain ratios match the paper's full-scale
+//! platform. `SPMM_SCALE=1` reproduces paper-size inputs (hours of sim
+//! time).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use spmm_core::HeteroContext;
+use spmm_scalefree::{CatalogEntry, Dataset};
+use spmm_sparse::CsrMatrix;
+
+/// The experiment scale factor (`SPMM_SCALE`, default 32).
+pub fn scale() -> usize {
+    std::env::var("SPMM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(32)
+}
+
+/// A fresh simulated platform context matched to [`scale`].
+pub fn context() -> HeteroContext {
+    HeteroContext::scaled(scale())
+}
+
+/// Load one Table I clone at the configured scale.
+pub fn load(name: &str) -> CsrMatrix<f64> {
+    Dataset::by_name(name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}"))
+        .load(scale())
+}
+
+/// A platform context matched to one dataset's *effective* shrink factor
+/// (small matrices are shrunk less than `SPMM_SCALE`; their platform must
+/// match — see `Dataset::effective_scale`).
+pub fn context_for(name: &str) -> HeteroContext {
+    let eff = Dataset::by_name(name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}"))
+        .effective_scale(scale());
+    HeteroContext::scaled(eff)
+}
+
+/// All 12 Table I matrices (entry, clone, matched context) in the paper's
+/// order.
+pub fn all_datasets() -> Vec<(CatalogEntry, CsrMatrix<f64>)> {
+    Dataset::all()
+        .into_iter()
+        .map(|d| (d.entry(), d.load(scale())))
+        .collect()
+}
+
+/// Write a JSON artifact for the figure under `target/experiments/`.
+pub fn emit_json(figure: &str, value: &serde_json::Value) {
+    // anchor at the workspace target dir regardless of the bench's cwd
+    let dir = match std::env::var("CARGO_TARGET_DIR") {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"),
+    }
+    .join("experiments");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{figure}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap());
+            println!("[artifact] {}", path.display());
+        }
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Banner printed at the top of each figure bench.
+pub fn banner(figure: &str, description: &str) {
+    println!("================================================================");
+    println!("{figure}: {description}");
+    println!("scale = 1/{} of the paper's matrix sizes", scale());
+    println!("================================================================");
+}
+
+/// Geometric mean of speedups (the paper reports arithmetic "Average";
+/// both are printed by the figure benches).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn datasets_load_at_scale() {
+        let m = load("wiki-Vote");
+        assert!(m.nrows() > 0);
+        assert_eq!(all_datasets().len(), 12);
+    }
+}

@@ -1,0 +1,313 @@
+//! Algorithm HH-CPU (the paper's Algorithm 1).
+
+use spmm_sparse::coo::Triplet;
+use spmm_sparse::{CsrMatrix, Scalar};
+
+use spmm_hetsim::{PhaseBreakdown, PhaseTimes};
+use spmm_workqueue::{End, RangeQueue};
+
+use crate::context::HeteroContext;
+use crate::kernels::{product_tuples, rows_where};
+use crate::merge::merge_tuples;
+use crate::result::SpmmOutput;
+use crate::threshold::{self, ThresholdPolicy};
+use crate::units::WorkUnitConfig;
+
+/// Configuration of one HH-CPU run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HhCpuConfig {
+    /// Phase I threshold policy.
+    pub policy: ThresholdPolicy,
+    /// Phase III work-unit sizes; `None` ⇒ scale with the matrix
+    /// ([`WorkUnitConfig::auto`]).
+    pub units: Option<WorkUnitConfig>,
+}
+
+impl HhCpuConfig {
+    /// Fixed equal thresholds for both matrices (the Figure 8 sweep).
+    pub fn with_threshold(t: usize) -> Self {
+        Self { policy: ThresholdPolicy::Fixed { t_a: t, t_b: t }, units: None }
+    }
+}
+
+/// Mean stored entries of the listed rows.
+fn mean_nnz<T: Scalar>(a: &CsrMatrix<T>, rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64 / rows.len() as f64
+}
+
+/// Run Algorithm HH-CPU: `C = A × B` with the four-way split of §III.
+///
+/// Devices start cold (`ctx.reset()` is called), the numeric result is
+/// exact (tested against the Gustavson reference), and the returned
+/// profile carries the simulated per-phase times of the platform model.
+pub fn hh_cpu<T: Scalar>(
+    ctx: &mut HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    config: &HhCpuConfig,
+) -> SpmmOutput<T> {
+    assert_eq!(a.ncols(), b.nrows(), "A and B incompatible for multiplication");
+    ctx.reset();
+
+    // ---- Phase I: thresholds + Boolean row classification ----
+    let th = threshold::identify(ctx, a, b, config.policy);
+    let phase1 = PhaseTimes::new(
+        ctx.cpu.threshold_scan_cost(a.nrows() + b.nrows()),
+        // the Boolean array is computed on the GPU from the row sizes
+        ctx.gpu.boolean_mask_cost(a.nrows() + b.nrows()),
+    );
+    // row sizes up, then A and B entirely ("we don't split the matrices
+    // physically", §IV-A), plus the Boolean arrays; the self-product A × A
+    // ships the matrix once
+    let matrix_bytes = if std::ptr::eq(a, b) {
+        a.byte_size()
+    } else {
+        a.byte_size() + b.byte_size()
+    };
+    let mut transfer_ns = ctx
+        .link
+        .transfer_ns((a.nrows() + b.nrows()) * 4 + matrix_bytes + a.nrows() + b.nrows());
+
+    let b_low: Vec<bool> = th.b_high.iter().map(|&h| !h).collect();
+    let rows_ah = rows_where(&th.a_high, true);
+    let rows_al = rows_where(&th.a_high, false);
+    // Work-unit grains: the paper's fixed 1000/10000 rows at full scale, or
+    // sized to the actual H/L row lists so the queue always holds enough
+    // units for the endgame to balance (the last unit bounds the final
+    // clock gap between the devices).
+    let units = config
+        .units
+        .unwrap_or_else(|| WorkUnitConfig::adaptive(rows_al.len(), rows_ah.len()));
+
+    // ---- Phase II: A_H × B_H on CPU ∥ A_L × B_L on GPU. The CPU side
+    // runs the cache-blocked kernel of §III-B (B_H tiled through L2). ----
+    let cpu2 = ctx
+        .cpu
+        .spmm_cost_blocked(a, b, rows_ah.iter().copied(), Some(&th.b_high));
+    let gpu2 = ctx
+        .gpu
+        .spmm_cost(a, b, rows_al.iter().copied(), Some(&b_low));
+    let phase2 = PhaseTimes::new(cpu2, gpu2);
+
+    let mut cpu_tuples: Vec<Triplet<T>> =
+        product_tuples(a, b, &rows_ah, Some(&th.b_high), &ctx.pool);
+    let mut gpu_tuples: Vec<Triplet<T>> = product_tuples(a, b, &rows_al, Some(&b_low), &ctx.pool);
+
+    // ---- Phase III: A_L × B_H and A_H × B_L through the double-ended
+    // workqueue (§III-C): "on the CPU end of the queue, we fill the queue
+    // with work-units corresponding to the product A_L × B_H and on the
+    // GPU end … A_H × B_L"; a device moves to the other product only
+    // "after finishing" its own. Work-unit sizes follow §IV-B, converted
+    // from the paper's row counts into a nonzero budget so a claim of
+    // dense A_H rows is as small (in rows) as it is heavy (per row). The
+    // simulation is event-driven: whichever device's clock is behind
+    // claims next, so the clocks stay near-equal — the load balance the
+    // queue exists for. ----
+    let hd_b = th.hd_rows_b();
+    let ld_b = b.nrows() - hd_b;
+    let mean_al = mean_nnz(a, &rows_al);
+    let mean_ah = mean_nnz(a, &rows_ah);
+    // The CPU's A_L × B_H work is one cache-blocked tiling pass shared by
+    // all of its claims (consecutive rows off the same end continue the
+    // pass), so the pass is costed once and claims are charged their nnz
+    // share of it.
+    let lh_nnz: f64 = rows_al.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
+    let lh_blocked_total = if hd_b > 0 && !rows_al.is_empty() {
+        ctx.cpu
+            .spmm_cost_blocked(a, b, rows_al.iter().copied(), Some(&th.b_high))
+    } else {
+        0.0
+    };
+    // structurally-zero products are not enqueued at all
+    let lh_queue = RangeQueue::new(if hd_b > 0 { rows_al.len() } else { 0 });
+    let hl_queue = RangeQueue::new(if ld_b > 0 { rows_ah.len() } else { 0 });
+    let cpu_claim_nnz = (units.cpu_rows as f64 * mean_al).max(1.0);
+    let gpu_claim_nnz = (units.gpu_rows as f64 * mean_ah).max(1.0);
+    let grain = |claim_nnz: f64, mean: f64| ((claim_nnz / mean.max(1.0)) as usize).max(1);
+
+    let mut cpu_clock = 0.0f64;
+    let mut gpu_clock = 0.0f64;
+    loop {
+        let cpu_turn = cpu_clock <= gpu_clock;
+        // own product first, then help the other end
+        let claim = if cpu_turn {
+            lh_queue
+                .claim(End::Front, grain(cpu_claim_nnz, mean_al))
+                .map(|r| (r, false))
+                .or_else(|| {
+                    hl_queue
+                        .claim(End::Front, grain(cpu_claim_nnz, mean_ah))
+                        .map(|r| (r, true))
+                })
+        } else {
+            hl_queue
+                .claim(End::Back, grain(gpu_claim_nnz, mean_ah))
+                .map(|r| (r, true))
+                .or_else(|| {
+                    lh_queue
+                        .claim(End::Back, grain(gpu_claim_nnz, mean_al))
+                        .map(|r| (r, false))
+                })
+        };
+        let Some((piece, high_rows)) = claim else {
+            break;
+        };
+        let (rows, b_mask): (&[usize], &[bool]) = if high_rows {
+            (&rows_ah[piece], &b_low)
+        } else {
+            (&rows_al[piece], &th.b_high)
+        };
+        if cpu_turn {
+            // B_H-side products stay cache-blocked on the CPU (the claim's
+            // share of the single tiling pass); when the CPU helps with
+            // the GPU end (A_H × B_L) the B operand is scattered and the
+            // streaming kernel is the right model.
+            cpu_clock += if high_rows {
+                ctx.cpu.spmm_cost(a, b, rows.iter().copied(), Some(b_mask))
+            } else {
+                let piece_nnz: f64 =
+                    rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
+                lh_blocked_total * piece_nnz / lh_nnz.max(1.0)
+            };
+            cpu_tuples.extend(product_tuples(a, b, rows, Some(b_mask), &ctx.pool));
+        } else {
+            gpu_clock += ctx.gpu.spmm_cost(a, b, rows.iter().copied(), Some(b_mask));
+            gpu_tuples.extend(product_tuples(a, b, rows, Some(b_mask), &ctx.pool));
+        }
+    }
+    let phase3 = PhaseTimes::new(cpu_clock, gpu_clock);
+
+    // ---- Phase IV: merge. The GPU pre-merges its own tuples while the CPU
+    // performs the full combine (results are "merged together and stored on
+    // the CPU", §III-D); the GPU's partials come down over the link. ----
+    transfer_ns += ctx.link.transfer_ns(gpu_tuples.len() * 16);
+    let tuples_merged = cpu_tuples.len() + gpu_tuples.len();
+    let phase4 = PhaseTimes::new(
+        ctx.cpu.merge_cost(tuples_merged),
+        ctx.gpu.merge_cost(gpu_tuples.len()),
+    );
+    cpu_tuples.extend(gpu_tuples);
+    let c = merge_tuples(cpu_tuples, (a.nrows(), b.ncols()), &ctx.pool);
+
+    SpmmOutput {
+        c,
+        profile: PhaseBreakdown { phase1, phase2, phase3, phase4, transfer_ns },
+        threshold_a: th.t_a,
+        threshold_b: th.t_b,
+        hd_rows_a: th.hd_rows_a(),
+        hd_rows_b: th.hd_rows_b(),
+        tuples_merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_scalefree::{scale_free_matrix, GeneratorConfig};
+    use spmm_sparse::reference;
+
+    fn scale_free(n: usize, nnz: usize, alpha: f64, seed: u64) -> CsrMatrix<f64> {
+        scale_free_matrix(&GeneratorConfig::square_power_law(n, nnz, alpha, seed))
+    }
+
+    #[test]
+    fn product_matches_reference_on_scale_free_input() {
+        let mut ctx = HeteroContext::paper();
+        let a = scale_free(800, 4_000, 2.3, 1);
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        let expected = reference::spmm_rowrow(&a, &a).unwrap();
+        assert!(out.c.approx_eq(&expected, 1e-9, 1e-12), "HH-CPU result diverged");
+    }
+
+    #[test]
+    fn product_matches_reference_for_distinct_a_and_b() {
+        let mut ctx = HeteroContext::paper();
+        let a = scale_free(500, 2_500, 2.2, 7);
+        let b = scale_free(500, 3_000, 3.0, 8);
+        let out = hh_cpu(&mut ctx, &a, &b, &HhCpuConfig::default());
+        let expected = reference::spmm_rowrow(&a, &b).unwrap();
+        assert!(out.c.approx_eq(&expected, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn fixed_threshold_zero_routes_everything_to_cpu() {
+        let mut ctx = HeteroContext::paper();
+        let a = scale_free(400, 2_000, 2.5, 3);
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::with_threshold(0));
+        // t=0 ⇒ all rows high ⇒ GPU does nothing in Phases II and III
+        assert_eq!(out.profile.phase2.gpu_ns, 0.0);
+        assert_eq!(out.profile.phase3.gpu_ns, 0.0);
+        assert!(out.profile.phase2.cpu_ns > 0.0);
+        let expected = reference::spmm_rowrow(&a, &a).unwrap();
+        assert!(out.c.approx_eq(&expected, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn threshold_above_max_degenerates_to_gpu_only() {
+        let mut ctx = HeteroContext::paper();
+        let a = scale_free(400, 2_000, 2.5, 4);
+        let t = a.max_row_nnz() + 1;
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::with_threshold(t));
+        assert_eq!(out.profile.phase2.cpu_ns, 0.0);
+        assert_eq!(out.hd_rows_a, 0);
+        let expected = reference::spmm_rowrow(&a, &a).unwrap();
+        assert!(out.c.approx_eq(&expected, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn phase3_clocks_are_balanced() {
+        let mut ctx = HeteroContext::paper();
+        let a = scale_free(6_000, 40_000, 2.2, 5);
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        let p3 = out.profile.phase3;
+        if p3.cpu_ns > 0.0 && p3.gpu_ns > 0.0 {
+            // the event-driven queue should keep the devices within one
+            // work-unit of each other ("the difference between the GPU and
+            // the CPU runtime within each phase is on average under 2% of
+            // the overall runtime", §V-B b)
+            let imbalance = p3.imbalance() / out.total_ns();
+            assert!(imbalance < 0.15, "phase 3 imbalance {imbalance}");
+        }
+    }
+
+    #[test]
+    fn phases_two_and_three_dominate() {
+        // On the scale-matched platform the compute phases dominate, as in
+        // the paper's Figure 7 (≥ 96% at full scale; the reduced-scale
+        // bound here is looser because Phase IV's linear-time merge shrinks
+        // more slowly than the superlinear flop count).
+        let mut ctx = HeteroContext::scaled(16);
+        let a = scale_free(12_000, 120_000, 2.1, 9);
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        assert!(
+            out.profile.compute_fraction() > 0.6,
+            "phases II+III should dominate, fraction = {}",
+            out.profile.compute_fraction()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let a = scale_free(700, 3_500, 2.4, 6);
+        let mut ctx = HeteroContext::paper();
+        let o1 = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        let o2 = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        assert_eq!(o1.total_ns(), o2.total_ns());
+        assert_eq!(o1.c, o2.c);
+        assert_eq!(o1.threshold_a, o2.threshold_a);
+    }
+
+    #[test]
+    fn tuples_merged_bounded_by_output_and_flops() {
+        // in-kernel accumulation: between nnz(C) (everything merged in one
+        // product) and flops (no accumulation at all)
+        let mut ctx = HeteroContext::paper();
+        let a = scale_free(300, 1_500, 2.6, 2);
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        assert!(out.tuples_merged >= out.c.nnz());
+        assert!((out.tuples_merged as u64) <= reference::flops(&a, &a));
+    }
+}

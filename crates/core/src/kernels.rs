@@ -1,0 +1,173 @@
+//! Numeric kernels: produce the `⟨r, c, v⟩` tuple streams of Phases II/III.
+//!
+//! These compute the *real* arithmetic (the simulated devices only charge
+//! time). Following the paper's kernel of [13], each output row is
+//! accumulated *within* the kernel (the GPU uses its `PartialOutput` array,
+//! the CPU a sparse accumulator) and only "the nonzero values of C(i,:) are
+//! copied to the output" (§II-A-b) — so one tuple is emitted per distinct
+//! `(row, col)` of the partial product, not per elementary multiplication.
+//! Phase IV then merges tuples *across* the four partial products (§III-D).
+//! Tuples are produced in deterministic row order regardless of host
+//! thread count.
+
+use spmm_parallel::ThreadPool;
+use spmm_sparse::coo::Triplet;
+use spmm_sparse::{ColIndex, CsrMatrix, Scalar};
+
+/// Multiply the listed rows of `a` against `b`, restricted to B rows
+/// allowed by `b_mask` (None ⇒ all). Returns one tuple per stored entry of
+/// the partial product, rows in `rows` order, columns sorted within a row.
+pub fn product_tuples<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: &[usize],
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+) -> Vec<Triplet<T>> {
+    assert_eq!(a.ncols(), b.nrows(), "incompatible shapes for product");
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    // Chunk rows across threads; each chunk yields an ordered Vec and the
+    // chunks concatenate in order, keeping the stream deterministic.
+    let threads = pool.num_threads().min(rows.len());
+    let chunk = rows.len().div_ceil(threads);
+    let chunks: Vec<&[usize]> = rows.chunks(chunk).collect();
+    let ncols = b.ncols();
+    let parts: Vec<Vec<Triplet<T>>> = pool.map(chunks.len(), |ci| {
+        // per-thread sparse accumulator (the kernel's PartialOutput)
+        let mut acc = vec![T::ZERO; ncols];
+        let mut stamp = vec![u32::MAX; ncols];
+        let mut touched: Vec<ColIndex> = Vec::new();
+        let mut out = Vec::new();
+        for (gen, &i) in chunks[ci].iter().enumerate() {
+            let gen = gen as u32;
+            touched.clear();
+            let (acols, avals) = a.row(i);
+            for (&j, &aij) in acols.iter().zip(avals) {
+                let j = j as usize;
+                if let Some(mask) = b_mask {
+                    if !mask[j] {
+                        continue;
+                    }
+                }
+                let (bcols, bvals) = b.row(j);
+                for (&c, &bjc) in bcols.iter().zip(bvals) {
+                    let cu = c as usize;
+                    if stamp[cu] != gen {
+                        stamp[cu] = gen;
+                        acc[cu] = aij * bjc;
+                        touched.push(c);
+                    } else {
+                        acc[cu] += aij * bjc;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                out.push(Triplet { row: i as u32, col: c, val: acc[c as usize] });
+            }
+        }
+        out
+    });
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut tuples = Vec::with_capacity(total);
+    for p in parts {
+        tuples.extend(p);
+    }
+    tuples
+}
+
+/// Row indices selected (`true`) by a mask.
+pub fn rows_where(mask: &[bool], want: bool) -> Vec<usize> {
+    mask.iter()
+        .enumerate()
+        .filter_map(|(i, &h)| (h == want).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_sparse::reference;
+    use spmm_sparse::CooMatrix;
+
+    fn fig2_a() -> CsrMatrix<f64> {
+        CsrMatrix::try_new(
+            4,
+            4,
+            vec![0, 2, 4, 6, 8],
+            vec![1, 2, 2, 3, 0, 2, 0, 3],
+            vec![2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_rows_unmasked_matches_reference_product() {
+        let a = fig2_a();
+        let pool = ThreadPool::new(2);
+        let rows: Vec<usize> = (0..4).collect();
+        let tuples = product_tuples(&a, &a, &rows, None, &pool);
+        let expected = reference::spmm_rowrow(&a, &a).unwrap();
+        // in-kernel accumulation ⇒ one tuple per output nonzero
+        assert_eq!(tuples.len(), expected.nnz());
+        let mut coo = CooMatrix::new(4, 4);
+        for t in &tuples {
+            coo.push_triplet(*t);
+        }
+        assert!(coo.to_csr().unwrap().approx_eq(&expected, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn four_masked_products_cover_everything_exactly_once() {
+        let a = fig2_a();
+        let pool = ThreadPool::new(1);
+        // threshold 2 on rows of a: all rows have exactly 2 nnz → vary mask
+        let mask = vec![true, false, true, false];
+        let high = rows_where(&mask, true);
+        let low = rows_where(&mask, false);
+        assert_eq!(high, vec![0, 2]);
+        assert_eq!(low, vec![1, 3]);
+
+        let mut all = Vec::new();
+        for rows in [&high, &low] {
+            for bmask in [&mask, &mask.iter().map(|&x| !x).collect::<Vec<_>>()] {
+                all.extend(product_tuples(&a, &a, rows, Some(bmask), &pool));
+            }
+        }
+        let mut coo = CooMatrix::new(4, 4);
+        for t in &all {
+            coo.push_triplet(*t);
+        }
+        let reference_c = reference::spmm_rowrow(&a, &a).unwrap();
+        assert!(coo.to_csr().unwrap().approx_eq(&reference_c, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let a = fig2_a();
+        let rows: Vec<usize> = (0..4).collect();
+        let t1 = product_tuples(&a, &a, &rows, None, &ThreadPool::new(1));
+        let t4 = product_tuples(&a, &a, &rows, None, &ThreadPool::new(4));
+        assert_eq!(t1.len(), t4.len());
+        for (x, y) in t1.iter().zip(&t4) {
+            assert_eq!(x.key(), y.key());
+            assert_eq!(x.val, y.val);
+        }
+    }
+
+    #[test]
+    fn empty_row_list_yields_nothing() {
+        let a = fig2_a();
+        let pool = ThreadPool::new(2);
+        assert!(product_tuples(&a, &a, &[], None, &pool).is_empty());
+    }
+
+    #[test]
+    fn rows_where_partitions() {
+        let mask = vec![true, false, false, true];
+        assert_eq!(rows_where(&mask, true), vec![0, 3]);
+        assert_eq!(rows_where(&mask, false), vec![1, 2]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Algorithm **HH-CPU** — the paper's primary contribution — plus every
+//! baseline its evaluation compares against.
+//!
+//! The paper ("A Novel Heterogeneous Algorithm for Multiplying Scale-Free
+//! Sparse Matrices", 2015) multiplies two scale-free sparse matrices on a
+//! CPU+GPU platform by splitting each input into high-density (`A_H`,
+//! `B_H`) and low-density (`A_L`, `B_L`) row sets and routing the four
+//! partial products to the device each suits (§III):
+//!
+//! * **Phase I** ([`threshold`]) — pick the density thresholds `t_A`, `t_B`
+//!   and classify rows (Boolean array, computed on the GPU).
+//! * **Phase II** ([`hhcpu`]) — `A_H × B_H` on the CPU (cache blocking)
+//!   overlapped with `A_L × B_L` on the GPU (warp-per-row).
+//! * **Phase III** — `A_L × B_H` and `A_H × B_L` balanced through the
+//!   double-ended work queue (`spmm-workqueue`).
+//! * **Phase IV** ([`merge`]) — merge all `⟨r, c, v⟩` tuples into the
+//!   output CSR (sort → mark → scan → segmented add).
+//!
+//! Baselines: [`hipc2012`] (the static-partition heterogeneous algorithm of
+//! the paper's reference [13]), [`wq_baselines`] (Algorithm
+//! Unsorted-Workqueue and Algorithm Sorted-Workqueue of §V-C), and
+//! [`vendor`] (MKL-like CPU-only and cuSPARSE-like GPU-only stand-ins for
+//! the Figure 6 footnote). [`csrmm`] implements the sparse × dense
+//! extension the paper sketches in its conclusion (§VI).
+//!
+//! All algorithms produce numerically real results (tested against the
+//! serial Gustavson reference) and a simulated [`PhaseBreakdown`] from the
+//! `spmm-hetsim` device models.
+
+pub mod context;
+pub mod csrmm;
+pub mod hhcpu;
+pub mod hipc2012;
+pub mod kernels;
+pub mod merge;
+pub mod result;
+pub mod spmv;
+pub mod threshold;
+pub mod units;
+pub mod vendor;
+pub mod wq_baselines;
+
+pub use context::HeteroContext;
+pub use hhcpu::{hh_cpu, HhCpuConfig};
+pub use hipc2012::hipc2012;
+pub use result::SpmmOutput;
+pub use threshold::{ThresholdPolicy, Thresholds};
+pub use vendor::{cusparse_like, mkl_like};
+pub use units::WorkUnitConfig;
+pub use wq_baselines::{sorted_workqueue, unsorted_workqueue};
+
+pub use spmm_hetsim::{PhaseBreakdown, PhaseTimes, Platform, SimNs};

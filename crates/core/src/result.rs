@@ -1,0 +1,69 @@
+//! Algorithm output: the real product plus the simulated timing evidence.
+
+use spmm_hetsim::{PhaseBreakdown, SimNs};
+use spmm_sparse::{CsrMatrix, Scalar};
+
+/// Result of one spmm run: the numeric product, the per-phase simulated
+/// timing ([`PhaseBreakdown`], the paper's Figure 7 data), and the run's
+/// decision parameters for analysis.
+#[derive(Debug, Clone)]
+pub struct SpmmOutput<T> {
+    /// The product matrix `C = A × B` (duplicates merged, rows sorted).
+    pub c: CsrMatrix<T>,
+    /// Simulated per-phase timing.
+    pub profile: PhaseBreakdown,
+    /// Threshold used for `A` (0 for algorithms that don't split).
+    pub threshold_a: usize,
+    /// Threshold used for `B`.
+    pub threshold_b: usize,
+    /// High-density rows of `A` under `threshold_a`.
+    pub hd_rows_a: usize,
+    /// High-density rows of `B` under `threshold_b`.
+    pub hd_rows_b: usize,
+    /// Raw `⟨r, c, v⟩` tuples produced by the compute phases (the Phase IV
+    /// input size; the paper's §V-D attributes the 500K/1M-row slowdown to
+    /// growth in this number).
+    pub tuples_merged: usize,
+}
+
+impl<T: Scalar> SpmmOutput<T> {
+    /// Total simulated wall time.
+    pub fn total_ns(&self) -> SimNs {
+        self.profile.total()
+    }
+
+    /// Speedup of this run over another (`other_time / self_time`); > 1
+    /// means `self` is faster. This is the Y axis of Figures 6, 9, 10.
+    pub fn speedup_over<U: Scalar>(&self, other: &SpmmOutput<U>) -> f64 {
+        other.total_ns() / self.total_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_hetsim::PhaseTimes;
+
+    fn out(total_phase2_cpu: f64) -> SpmmOutput<f64> {
+        SpmmOutput {
+            c: CsrMatrix::zeros(1, 1),
+            profile: PhaseBreakdown {
+                phase2: PhaseTimes::new(total_phase2_cpu, 0.0),
+                ..Default::default()
+            },
+            threshold_a: 0,
+            threshold_b: 0,
+            hd_rows_a: 0,
+            hd_rows_b: 0,
+            tuples_merged: 0,
+        }
+    }
+
+    #[test]
+    fn speedup_is_other_over_self() {
+        let fast = out(100.0);
+        let slow = out(125.0);
+        assert!((fast.speedup_over(&slow) - 1.25).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.8).abs() < 1e-12);
+    }
+}

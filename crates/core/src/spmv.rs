@@ -1,0 +1,223 @@
+//! Heterogeneous SpMV for scale-free matrices — the algorithm of the
+//! paper's reference [10] (Indarapu, Maramreddy, Kothapalli,
+//! *Architecture- and Workload-aware algorithms for Sparse Matrix-Vector
+//! Multiplication*), which pioneered the H/L row split this paper extends
+//! to spmm. Included because the paper builds directly on it and the same
+//! substrate reproduces it for free: `A_H · x` runs on the CPU, `A_L · x`
+//! on the GPU, overlapped.
+
+use spmm_sparse::{CsrMatrix, Scalar};
+
+use spmm_hetsim::{PhaseBreakdown, PhaseTimes, SimNs};
+
+use crate::context::HeteroContext;
+use crate::kernels::rows_where;
+use crate::threshold::{self, ThresholdPolicy};
+
+/// Result of a heterogeneous SpMV run.
+#[derive(Debug, Clone)]
+pub struct SpmvOutput<T> {
+    /// `y = A · x`.
+    pub y: Vec<T>,
+    /// Simulated timing (phase2 carries the overlapped compute).
+    pub profile: PhaseBreakdown,
+    /// Threshold splitting `A_H` from `A_L`.
+    pub threshold: usize,
+    /// Rows routed to the CPU.
+    pub hd_rows: usize,
+}
+
+impl<T: Scalar> SpmvOutput<T> {
+    /// Total simulated wall time.
+    pub fn total_ns(&self) -> SimNs {
+        self.profile.total()
+    }
+}
+
+/// Heterogeneous SpMV: high-density rows on the CPU, low-density rows on
+/// the GPU, overlapped.
+pub fn hh_spmv<T: Scalar>(
+    ctx: &mut HeteroContext,
+    a: &CsrMatrix<T>,
+    x: &[T],
+    policy: ThresholdPolicy,
+) -> SpmvOutput<T> {
+    assert_eq!(x.len(), a.ncols(), "vector length must match ncols");
+    ctx.reset();
+
+    let t = match policy {
+        ThresholdPolicy::Fixed { t_a, .. } => t_a,
+        // SpMV work per row is exactly its nnz, so the empirical search
+        // reduces to balancing nnz-weighted device throughputs over the
+        // candidate ladder.
+        ThresholdPolicy::Balanced { .. } | ThresholdPolicy::Empirical { .. } => {
+            let max_size = a.max_row_nnz();
+            let mut best = (f64::INFINITY, max_size + 1);
+            let mut t = 1usize;
+            while t <= max_size + 1 {
+                let mask = threshold::classify(a, t);
+                let rows_h: Vec<usize> = (0..a.nrows()).filter(|&i| mask[i]).collect();
+                let rows_l: Vec<usize> = (0..a.nrows()).filter(|&i| !mask[i]).collect();
+                let mut cpu = spmm_hetsim::CpuDevice::new(ctx.platform.cpu);
+                let mut gpu = spmm_hetsim::GpuDevice::new(ctx.platform.gpu);
+                let wall = cpu
+                    .spmv_cost(a, rows_h.iter().copied())
+                    .max(gpu.spmv_cost(a, rows_l.iter().copied()));
+                if wall < best.0 {
+                    best = (wall, t);
+                }
+                t *= 2;
+            }
+            best.1
+        }
+    };
+    let mask = threshold::classify(a, t);
+    let rows_h = rows_where(&mask, true);
+    let rows_l = rows_where(&mask, false);
+
+    let phase1 = PhaseTimes::new(
+        ctx.cpu.threshold_scan_cost(a.nrows()),
+        ctx.gpu.boolean_mask_cost(a.nrows()),
+    );
+    // matrix + x up, the GPU's half of y down
+    let mut transfer_ns = ctx.link.transfer_ns(a.byte_size() + x.len() * 8 + a.nrows());
+    let cpu_ns = ctx.cpu.spmv_cost(a, rows_h.iter().copied());
+    let gpu_ns = ctx.gpu.spmv_cost(a, rows_l.iter().copied());
+    transfer_ns += ctx.link.transfer_ns(rows_l.len() * 8);
+
+    // real numerics
+    let mut y = vec![T::ZERO; a.nrows()];
+    for &i in rows_h.iter().chain(&rows_l) {
+        let (cols, vals) = a.row(i);
+        let mut sum = T::ZERO;
+        for (&c, &v) in cols.iter().zip(vals) {
+            sum += v * x[c as usize];
+        }
+        y[i] = sum;
+    }
+
+    SpmvOutput {
+        y,
+        profile: PhaseBreakdown {
+            phase1,
+            phase2: PhaseTimes::new(cpu_ns, gpu_ns),
+            phase3: PhaseTimes::default(),
+            phase4: PhaseTimes::default(),
+            transfer_ns,
+        },
+        threshold: t,
+        hd_rows: rows_h.len(),
+    }
+}
+
+/// CPU-only SpMV baseline.
+pub fn cpu_spmv<T: Scalar>(ctx: &mut HeteroContext, a: &CsrMatrix<T>, x: &[T]) -> SpmvOutput<T> {
+    ctx.reset();
+    let cpu_ns = ctx.cpu.spmv_cost(a, 0..a.nrows());
+    let y = spmm_sparse::reference::spmv(a, x).expect("length checked by caller");
+    SpmvOutput {
+        y,
+        profile: PhaseBreakdown {
+            phase2: PhaseTimes::new(cpu_ns, 0.0),
+            ..Default::default()
+        },
+        threshold: 0,
+        hd_rows: a.nrows(),
+    }
+}
+
+/// GPU-only SpMV baseline (pays PCIe both ways).
+pub fn gpu_spmv<T: Scalar>(ctx: &mut HeteroContext, a: &CsrMatrix<T>, x: &[T]) -> SpmvOutput<T> {
+    ctx.reset();
+    let mut transfer_ns = ctx.link.transfer_ns(a.byte_size() + x.len() * 8);
+    let gpu_ns = ctx.gpu.spmv_cost(a, 0..a.nrows());
+    transfer_ns += ctx.link.transfer_ns(a.nrows() * 8);
+    let y = spmm_sparse::reference::spmv(a, x).expect("length checked by caller");
+    SpmvOutput {
+        y,
+        profile: PhaseBreakdown {
+            phase2: PhaseTimes::new(0.0, gpu_ns),
+            transfer_ns,
+            ..Default::default()
+        },
+        threshold: usize::MAX,
+        hd_rows: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_scalefree::{scale_free_matrix, GeneratorConfig};
+    use spmm_sparse::reference;
+
+    fn inputs(n: usize) -> (CsrMatrix<f64>, Vec<f64>) {
+        let a = scale_free_matrix(&GeneratorConfig::square_power_law(n, n * 5, 2.2, 60));
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.5 - 3.0).collect();
+        (a, x)
+    }
+
+    #[test]
+    fn matches_reference_spmv() {
+        let mut ctx = HeteroContext::paper();
+        let (a, x) = inputs(800);
+        let out = hh_spmv(&mut ctx, &a, &x, ThresholdPolicy::default());
+        let expected = reference::spmv(&a, &x).unwrap();
+        for (got, want) in out.y.iter().zip(&expected) {
+            assert!((got - want).abs() <= 1e-9 + 1e-9 * want.abs());
+        }
+    }
+
+    #[test]
+    fn both_devices_participate_on_scale_free_input() {
+        let mut ctx = HeteroContext::scaled(16);
+        let (a, x) = inputs(20_000);
+        let out = hh_spmv(&mut ctx, &a, &x, ThresholdPolicy::default());
+        assert!(out.profile.phase2.cpu_ns > 0.0);
+        assert!(out.profile.phase2.gpu_ns > 0.0);
+        assert!(out.hd_rows > 0 && out.hd_rows < a.nrows());
+    }
+
+    #[test]
+    fn heterogeneous_compute_beats_cpu_only() {
+        let mut ctx = HeteroContext::scaled(16);
+        let (a, x) = inputs(20_000);
+        let hh = hh_spmv(&mut ctx, &a, &x, ThresholdPolicy::default());
+        let cpu = cpu_spmv(&mut ctx, &a, &x);
+        assert!(
+            hh.profile.phase2.wall() < cpu.profile.phase2.wall(),
+            "hh {} vs cpu {}",
+            hh.profile.phase2.wall(),
+            cpu.profile.phase2.wall()
+        );
+    }
+
+    #[test]
+    fn fixed_threshold_respected_and_degenerate_ends_work() {
+        let mut ctx = HeteroContext::paper();
+        let (a, x) = inputs(500);
+        let out = hh_spmv(&mut ctx, &a, &x, ThresholdPolicy::Fixed { t_a: 4, t_b: 4 });
+        assert_eq!(out.threshold, 4);
+        let all_gpu = hh_spmv(
+            &mut ctx,
+            &a,
+            &x,
+            ThresholdPolicy::Fixed { t_a: a.max_row_nnz() + 1, t_b: 0 },
+        );
+        assert_eq!(all_gpu.hd_rows, 0);
+        assert_eq!(all_gpu.profile.phase2.cpu_ns, 0.0);
+        let expected = reference::spmv(&a, &x).unwrap();
+        for (got, want) in all_gpu.y.iter().zip(&expected) {
+            assert!((got - want).abs() <= 1e-9 + 1e-9 * want.abs());
+        }
+    }
+
+    #[test]
+    fn gpu_only_pays_transfers() {
+        let mut ctx = HeteroContext::paper();
+        let (a, x) = inputs(400);
+        let g = gpu_spmv(&mut ctx, &a, &x);
+        assert!(g.profile.transfer_ns > 0.0);
+        assert_eq!(g.profile.phase2.cpu_ns, 0.0);
+    }
+}

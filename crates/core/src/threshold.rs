@@ -1,0 +1,385 @@
+//! Phase I: density-threshold selection and row classification (§III-A).
+//!
+//! "Keeping t small may mean that the work done by the CPU in Phase II
+//! would increase, whereas keeping t large may tilt the balance towards the
+//! GPU. Hence, we chose to identify t empirically."
+//!
+//! Two policies are provided:
+//!
+//! * [`ThresholdPolicy::Fixed`] — a caller-supplied threshold (what the
+//!   Figure 8 sweep uses).
+//! * [`ThresholdPolicy::Balanced`] — the default: pick, from the row-size
+//!   histogram's quantile candidates, the threshold that best balances the
+//!   *estimated* Phase II work between the devices. This is the analytic
+//!   stand-in for the paper's offline empirical search (the paper lists
+//!   "analytical techniques to identify the threshold" as future work —
+//!   §VI; this policy is that extension).
+
+use spmm_sparse::{CsrMatrix, RowHistogram, Scalar};
+
+use crate::context::HeteroContext;
+
+/// How Phase I picks the thresholds `t_A` and `t_B`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// Use these exact thresholds for A and B.
+    Fixed { t_a: usize, t_b: usize },
+    /// Balance estimated Phase II device times over `candidates` histogram
+    /// quantiles (per matrix), using the closed-form throughput estimates —
+    /// the "analytical techniques" the paper lists as future work (§VI).
+    Balanced { candidates: usize },
+    /// The paper's approach: "we chose to identify t empirically" (§III-A).
+    /// Evaluates the device cost models on the Phase II/III products for
+    /// `candidates` histogram quantiles and keeps the argmin. More accurate
+    /// than `Balanced` and costs one extra cost-model pass per candidate
+    /// (offline preprocessing in the paper; not charged to the run).
+    Empirical { candidates: usize },
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        ThresholdPolicy::Empirical { candidates: 10 }
+    }
+}
+
+/// The chosen thresholds plus the Boolean row classifications ("we prepare
+/// a Boolean array of size equal to the number of rows", §III-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    pub t_a: usize,
+    pub t_b: usize,
+    /// `true` ⇒ the row belongs to `A_H`.
+    pub a_high: Vec<bool>,
+    /// `true` ⇒ the row belongs to `B_H`.
+    pub b_high: Vec<bool>,
+}
+
+impl Thresholds {
+    /// Number of high-density rows of A.
+    pub fn hd_rows_a(&self) -> usize {
+        self.a_high.iter().filter(|&&h| h).count()
+    }
+
+    /// Number of high-density rows of B.
+    pub fn hd_rows_b(&self) -> usize {
+        self.b_high.iter().filter(|&&h| h).count()
+    }
+}
+
+/// Run Phase I: select thresholds per `policy` and classify every row of
+/// `a` and `b`.
+pub fn identify<T: Scalar>(
+    ctx: &HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    policy: ThresholdPolicy,
+) -> Thresholds {
+    let (t_a, t_b) = match policy {
+        ThresholdPolicy::Fixed { t_a, t_b } => (t_a, t_b),
+        ThresholdPolicy::Balanced { candidates } => {
+            let ha = RowHistogram::from_matrix(a);
+            let hb = RowHistogram::from_matrix(b);
+            let t_a = balanced_threshold(ctx, &ha, &hb, candidates);
+            // For the self-product A × A the two scans coincide; in general
+            // B gets its own balance point.
+            let t_b = if std::ptr::eq(a, b) || (a.shape() == b.shape() && ha == hb) {
+                t_a
+            } else {
+                balanced_threshold(ctx, &hb, &ha, candidates)
+            };
+            (t_a, t_b)
+        }
+        ThresholdPolicy::Empirical { candidates } => {
+            let t = empirical_threshold(ctx, a, b, candidates);
+            (t, t)
+        }
+    };
+    Thresholds {
+        t_a,
+        t_b,
+        a_high: classify(a, t_a),
+        b_high: classify(b, t_b),
+    }
+}
+
+/// The Boolean array: row `i` is high-density iff it has at least `t`
+/// nonzeros. `t = 0` marks every row high (all-CPU degenerate case); a `t`
+/// above the max row size marks none (HH-CPU degenerates to [13], §V-B d).
+pub fn classify<T: Scalar>(m: &CsrMatrix<T>, t: usize) -> Vec<bool> {
+    (0..m.nrows()).map(|i| m.row_nnz(i) >= t.max(1)).collect()
+}
+
+/// Pick the candidate threshold minimising the estimated Phase II wall
+/// time `max(cpu(A_H × B_H), gpu(A_L × B_L))`.
+///
+/// Work volumes are estimated from the histograms alone, assuming
+/// uniformly placed columns: an entry of `A_X` lands in a row of `B_Y`
+/// with probability `nnz(B_Y) / (rows(B) · mean(B))`, so
+/// `flops(A_X × B_Y) ≈ nnz(A_X) · nnz(B_Y) / rows(B)` — the a-priori proxy
+/// for the true flop count (which §I notes cannot be known without doing
+/// the multiplication). Device speeds come from the density-aware
+/// estimates in [`HeteroContext`].
+fn balanced_threshold(
+    ctx: &HeteroContext,
+    rows_hist: &RowHistogram,
+    other_hist: &RowHistogram,
+    candidates: usize,
+) -> usize {
+    let total_nnz = rows_hist.nnz() as f64;
+    let other_rows = other_hist.nrows() as f64;
+    let other_nnz = other_hist.nnz() as f64;
+
+    let mut best = (f64::INFINITY, 1usize);
+    for t in rows_hist.threshold_candidates(candidates) {
+        let hd_nnz = rows_hist.high_density_nnz(t) as f64;
+        let ld_nnz = total_nnz - hd_nnz;
+        let other_hd_rows = other_hist.high_density_rows(t) as f64;
+        let other_hd_nnz = other_hist.high_density_nnz(t) as f64;
+        let mean_high = if other_hd_rows > 0.0 { other_hd_nnz / other_hd_rows } else { 0.0 };
+        let other_ld_rows = other_rows - other_hd_rows;
+        let other_ld_nnz = other_nnz - other_hd_nnz;
+        let mean_low = if other_ld_rows > 0.0 { other_ld_nnz / other_ld_rows } else { 0.0 };
+
+        // flops of the two Phase II products under uniform column placement
+        let flops_hh = hd_nnz * other_hd_nnz / other_rows;
+        let flops_ll = ld_nnz * other_ld_nnz / other_rows;
+        let cpu_est = flops_hh * ctx.cpu_ns_per_flop_estimate(mean_high);
+        let gpu_est = flops_ll * ctx.gpu_ns_per_flop_estimate(mean_low);
+        let wall = cpu_est.max(gpu_est);
+        if wall < best.0 {
+            best = (wall, t);
+        }
+    }
+    best.1
+}
+
+/// The paper's empirical Phase I search: for each candidate threshold,
+/// evaluate the device cost models on the four partial products (fresh
+/// device state per candidate) and keep the candidate with the smallest
+/// estimated total. One threshold is used for both matrices, as in the
+/// paper's per-matrix experiments (Figure 5 annotates a single threshold).
+fn empirical_threshold<T: Scalar>(
+    ctx: &HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    candidates: usize,
+) -> usize {
+    // Log-spaced candidate ladder: the interesting thresholds live in the
+    // distribution's tail, which row-count quantiles never reach.
+    let max_size = (0..a.nrows()).map(|i| a.row_nnz(i)).max().unwrap_or(0);
+    let mut ladder: Vec<usize> = Vec::new();
+    let mut t = 2usize;
+    while t <= max_size {
+        ladder.push(t);
+        t *= 2;
+    }
+    ladder.push(max_size + 1);
+    if ladder.len() > candidates {
+        // thin evenly, keeping the ends
+        let stride = ladder.len().div_ceil(candidates);
+        let last = *ladder.last().unwrap();
+        ladder = ladder.into_iter().step_by(stride).collect();
+        if *ladder.last().unwrap() != last {
+            ladder.push(last);
+        }
+    }
+
+    let mut best = (f64::INFINITY, 1usize);
+    for t in ladder {
+        let total = estimate_run(ctx, a, b, t);
+        if total < best.0 {
+            best = (total, t);
+        }
+    }
+    best.1
+}
+
+/// Cost-model-only dry run of Phases II and III for threshold `t` —
+/// identical structure to `hh_cpu` (overlapped Phase II, event-driven
+/// double-ended queue in Phase III) but with fresh cloned devices and no
+/// numeric work. Returns the estimated total (`phase II wall + phase III
+/// wall`).
+pub fn estimate_run<T: Scalar>(
+    ctx: &HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    t: usize,
+) -> f64 {
+    let (p2, p3) = estimate_phases(ctx, a, b, t);
+    p2 + p3
+}
+
+/// Like [`estimate_run`] but returns the two phase walls separately — the
+/// series the Figure 8 sweep plots.
+pub fn estimate_phases<T: Scalar>(
+    ctx: &HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    t: usize,
+) -> (f64, f64) {
+    let a_high = classify(a, t);
+    let b_high = if std::ptr::eq(a, b) { a_high.clone() } else { classify(b, t) };
+    let b_low: Vec<bool> = b_high.iter().map(|&h| !h).collect();
+    let rows_h: Vec<usize> = (0..a.nrows()).filter(|&i| a_high[i]).collect();
+    let rows_l: Vec<usize> = (0..a.nrows()).filter(|&i| !a_high[i]).collect();
+    let hd_b = b_high.iter().filter(|&&h| h).count();
+    let ld_b = b.nrows() - hd_b;
+
+    let mut cpu = spmm_hetsim::CpuDevice::new(ctx.platform.cpu);
+    let mut gpu = spmm_hetsim::GpuDevice::new(ctx.platform.gpu);
+    let c2 = cpu.spmm_cost_blocked(a, b, rows_h.iter().copied(), Some(&b_high));
+    let g2 = gpu.spmm_cost(a, b, rows_l.iter().copied(), Some(&b_low));
+
+    // Phase III dry run over the same two-queue, nnz-budgeted discipline
+    // as `hh_cpu`.
+    let units = crate::units::WorkUnitConfig::adaptive(rows_l.len(), rows_h.len());
+    let mean = |rows: &[usize]| -> f64 {
+        if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64 / rows.len() as f64
+        }
+    };
+    let (mean_al, mean_ah) = (mean(&rows_l), mean(&rows_h));
+    let lh_nnz: f64 = rows_l.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
+    let lh_blocked_total = if hd_b > 0 && !rows_l.is_empty() {
+        cpu.spmm_cost_blocked(a, b, rows_l.iter().copied(), Some(&b_high))
+    } else {
+        0.0
+    };
+    let lh_queue = spmm_workqueue::RangeQueue::new(if hd_b > 0 { rows_l.len() } else { 0 });
+    let hl_queue = spmm_workqueue::RangeQueue::new(if ld_b > 0 { rows_h.len() } else { 0 });
+    let cpu_claim_nnz = (units.cpu_rows as f64 * mean_al).max(1.0);
+    let gpu_claim_nnz = (units.gpu_rows as f64 * mean_ah).max(1.0);
+    let grain = |claim_nnz: f64, m: f64| ((claim_nnz / m.max(1.0)) as usize).max(1);
+    let (mut cpu_clock, mut gpu_clock) = (0.0f64, 0.0f64);
+    loop {
+        let cpu_turn = cpu_clock <= gpu_clock;
+        let claim = if cpu_turn {
+            lh_queue
+                .claim(spmm_workqueue::End::Front, grain(cpu_claim_nnz, mean_al))
+                .map(|r| (r, false))
+                .or_else(|| {
+                    hl_queue
+                        .claim(spmm_workqueue::End::Front, grain(cpu_claim_nnz, mean_ah))
+                        .map(|r| (r, true))
+                })
+        } else {
+            hl_queue
+                .claim(spmm_workqueue::End::Back, grain(gpu_claim_nnz, mean_ah))
+                .map(|r| (r, true))
+                .or_else(|| {
+                    lh_queue
+                        .claim(spmm_workqueue::End::Back, grain(gpu_claim_nnz, mean_al))
+                        .map(|r| (r, false))
+                })
+        };
+        let Some((piece, high)) = claim else { break };
+        let (rows, mask): (&[usize], &[bool]) = if high {
+            (&rows_h[piece], &b_low)
+        } else {
+            (&rows_l[piece], &b_high)
+        };
+        if cpu_turn {
+            cpu_clock += if high {
+                cpu.spmm_cost(a, b, rows.iter().copied(), Some(mask))
+            } else {
+                let piece_nnz: f64 =
+                    rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
+                lh_blocked_total * piece_nnz / lh_nnz.max(1.0)
+            };
+        } else {
+            gpu_clock += gpu.spmm_cost(a, b, rows.iter().copied(), Some(mask));
+        }
+    }
+    (c2.max(g2), cpu_clock.max(gpu_clock))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_scalefree::{scale_free_matrix, GeneratorConfig};
+
+    fn scale_free(n: usize, nnz: usize, alpha: f64) -> CsrMatrix<f64> {
+        scale_free_matrix(&GeneratorConfig::square_power_law(n, nnz, alpha, 42))
+    }
+
+    #[test]
+    fn fixed_policy_is_respected() {
+        let ctx = HeteroContext::paper();
+        let a = scale_free(2_000, 10_000, 2.3);
+        let th = identify(&ctx, &a, &a, ThresholdPolicy::Fixed { t_a: 7, t_b: 9 });
+        assert_eq!(th.t_a, 7);
+        assert_eq!(th.t_b, 9);
+        for i in 0..a.nrows() {
+            assert_eq!(th.a_high[i], a.row_nnz(i) >= 7);
+            assert_eq!(th.b_high[i], a.row_nnz(i) >= 9);
+        }
+    }
+
+    #[test]
+    fn classify_degenerate_ends() {
+        let a = scale_free(1_000, 5_000, 2.5);
+        // t = 0 (clamped to 1): every nonempty row is "high" → all-CPU
+        let all = classify(&a, 0);
+        let nonempty = (0..a.nrows()).filter(|&i| a.row_nnz(i) > 0).count();
+        assert_eq!(all.iter().filter(|&&h| h).count(), nonempty);
+        // t beyond max: nothing is high → algorithm degenerates to [13]
+        let none = classify(&a, a.max_row_nnz() + 1);
+        assert!(none.iter().all(|&h| !h));
+    }
+
+    #[test]
+    fn balanced_picks_interior_threshold_on_scale_free_input() {
+        let ctx = HeteroContext::paper();
+        let a = scale_free(20_000, 120_000, 2.2);
+        let th = identify(&ctx, &a, &a, ThresholdPolicy::Balanced { candidates: 16 });
+        assert!(th.t_a > 1, "threshold should not be the all-CPU end");
+        assert!(
+            th.t_a <= a.max_row_nnz(),
+            "threshold should not be the all-GPU end"
+        );
+        // scale-free ⇒ few high-density rows
+        let hd = th.hd_rows_a();
+        assert!(hd > 0, "some rows must be high-density");
+        assert!(
+            (hd as f64) < 0.5 * a.nrows() as f64,
+            "most rows must stay low-density (hd = {hd})"
+        );
+    }
+
+    #[test]
+    fn self_product_uses_equal_thresholds() {
+        let ctx = HeteroContext::paper();
+        let a = scale_free(5_000, 30_000, 2.5);
+        let th = identify(&ctx, &a, &a, ThresholdPolicy::default());
+        assert_eq!(th.t_a, th.t_b);
+    }
+
+    #[test]
+    fn empirical_beats_or_matches_balanced_in_model_time() {
+        // the empirical search evaluates the true cost model, so its pick
+        // can never be worse than the closed-form balance point
+        let ctx = HeteroContext::scaled(16);
+        let a = scale_free(8_000, 64_000, 2.2);
+        let emp = identify(&ctx, &a, &a, ThresholdPolicy::default());
+        let bal = identify(&ctx, &a, &a, ThresholdPolicy::Balanced { candidates: 16 });
+        let emp_cost = estimate_run(&ctx, &a, &a, emp.t_a);
+        let bal_cost = estimate_run(&ctx, &a, &a, bal.t_a);
+        assert!(
+            emp_cost <= bal_cost * 1.05,
+            "empirical pick t={} ({emp_cost}) worse than balanced t={} ({bal_cost})",
+            emp.t_a,
+            bal.t_a
+        );
+    }
+
+    #[test]
+    fn hd_counts_match_masks() {
+        let ctx = HeteroContext::paper();
+        let a = scale_free(3_000, 15_000, 2.4);
+        let th = identify(&ctx, &a, &a, ThresholdPolicy::Fixed { t_a: 5, t_b: 5 });
+        assert_eq!(th.hd_rows_a(), th.a_high.iter().filter(|&&x| x).count());
+        assert_eq!(th.hd_rows_a(), th.hd_rows_b());
+    }
+}

@@ -1,0 +1,73 @@
+//! Work-unit sizing for the queue-based phases.
+
+/// Rows claimed per dequeue by each device (§IV-B: "The size of the
+/// work-unit on the CPU … is set at 1000 rows … the variable gpuRows … is
+/// set to 10,000 rows").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkUnitConfig {
+    pub cpu_rows: usize,
+    pub gpu_rows: usize,
+}
+
+impl WorkUnitConfig {
+    /// The paper's values, tuned for million-row matrices.
+    pub fn paper() -> Self {
+        Self { cpu_rows: 1_000, gpu_rows: 10_000 }
+    }
+
+    /// Grain scaled to the matrix so reduced-size clones keep the paper's
+    /// queue granularity: the CPU grain is ~1/1000 of the rows (clamped),
+    /// the GPU grain 10× that — the paper's 10:1 ratio.
+    pub fn auto(nrows: usize) -> Self {
+        let cpu_rows = (nrows / 1_000).clamp(16, 1_000);
+        Self { cpu_rows, gpu_rows: cpu_rows * 10 }
+    }
+}
+
+impl WorkUnitConfig {
+    /// Grains sized to the actual `A_L` / `A_H` row-list lengths so the
+    /// Phase III queue always holds enough units for the endgame to
+    /// balance (the final clock gap between devices is bounded by one
+    /// unit). At paper-scale row counts this lands near the paper's fixed
+    /// 1000/10000 values.
+    pub fn adaptive(low_rows: usize, high_rows: usize) -> Self {
+        Self {
+            cpu_rows: (low_rows / 64).clamp(16, 1_000),
+            gpu_rows: (high_rows / 16).clamp(8, 10_000),
+        }
+    }
+}
+
+impl Default for WorkUnitConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let w = WorkUnitConfig::paper();
+        assert_eq!(w.cpu_rows, 1_000);
+        assert_eq!(w.gpu_rows, 10_000);
+    }
+
+    #[test]
+    fn auto_reaches_paper_values_at_million_rows() {
+        let w = WorkUnitConfig::auto(1_000_000);
+        assert_eq!(w.cpu_rows, 1_000);
+        assert_eq!(w.gpu_rows, 10_000);
+    }
+
+    #[test]
+    fn auto_keeps_ten_to_one_ratio_when_scaled() {
+        for n in [5_000, 60_000, 250_000] {
+            let w = WorkUnitConfig::auto(n);
+            assert_eq!(w.gpu_rows, w.cpu_rows * 10);
+            assert!(w.cpu_rows >= 16);
+        }
+    }
+}

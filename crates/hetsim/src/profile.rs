@@ -1,0 +1,127 @@
+//! Phase-level timing breakdown, the data behind the paper's Figure 7.
+
+use crate::SimNs;
+
+/// Which device a time was charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DeviceKind {
+    Cpu,
+    Gpu,
+}
+
+/// CPU and GPU time spent in one phase. Phases run the devices in an
+/// overlapped fashion, so the phase's wall time is the max of the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseTimes {
+    pub cpu_ns: SimNs,
+    pub gpu_ns: SimNs,
+}
+
+impl PhaseTimes {
+    pub fn new(cpu_ns: SimNs, gpu_ns: SimNs) -> Self {
+        Self { cpu_ns, gpu_ns }
+    }
+
+    /// Wall time of the phase: "the time for each phase is taken as the
+    /// maximum time spent by either device on that phase" (§V-B b).
+    pub fn wall(&self) -> SimNs {
+        self.cpu_ns.max(self.gpu_ns)
+    }
+
+    /// |cpu − gpu| — the paper reports this imbalance averages under 2% of
+    /// the overall runtime, demonstrating load balance.
+    pub fn imbalance(&self) -> SimNs {
+        (self.cpu_ns - self.gpu_ns).abs()
+    }
+}
+
+/// Per-phase breakdown of one HH-CPU run (the paper's Figure 7 series),
+/// plus the CPU↔GPU transfer time (overlapped with Phase I/II in the
+/// implementation, reported separately here for analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseBreakdown {
+    /// Phase I: threshold identification + Boolean row classification.
+    pub phase1: PhaseTimes,
+    /// Phase II: `A_H × B_H` on CPU overlapped with `A_L × B_L` on GPU.
+    pub phase2: PhaseTimes,
+    /// Phase III: workqueue-balanced `A_H × B_L` / `A_L × B_H`.
+    pub phase3: PhaseTimes,
+    /// Phase IV: tuple merge.
+    pub phase4: PhaseTimes,
+    /// Matrix upload + result download on the PCIe link.
+    pub transfer_ns: SimNs,
+}
+
+impl PhaseBreakdown {
+    /// Total simulated wall time of the run.
+    pub fn total(&self) -> SimNs {
+        self.phase1.wall()
+            + self.phase2.wall()
+            + self.phase3.wall()
+            + self.phase4.wall()
+            + self.transfer_ns
+    }
+
+    /// Wall time of each phase, in order I–IV (Figure 7's bars).
+    pub fn walls(&self) -> [SimNs; 4] {
+        [
+            self.phase1.wall(),
+            self.phase2.wall(),
+            self.phase3.wall(),
+            self.phase4.wall(),
+        ]
+    }
+
+    /// Fraction of total time spent in Phases II + III. The paper reports
+    /// ≥ 96% on its dataset (§V-B b).
+    pub fn compute_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.phase2.wall() + self.phase3.wall()) / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_is_max() {
+        let p = PhaseTimes::new(5.0, 3.0);
+        assert_eq!(p.wall(), 5.0);
+        assert_eq!(p.imbalance(), 2.0);
+    }
+
+    #[test]
+    fn total_sums_walls_and_transfer() {
+        let b = PhaseBreakdown {
+            phase1: PhaseTimes::new(1.0, 2.0),
+            phase2: PhaseTimes::new(10.0, 9.0),
+            phase3: PhaseTimes::new(7.0, 8.0),
+            phase4: PhaseTimes::new(1.5, 0.5),
+            transfer_ns: 3.0,
+        };
+        assert_eq!(b.total(), 2.0 + 10.0 + 8.0 + 1.5 + 3.0);
+        assert_eq!(b.walls(), [2.0, 10.0, 8.0, 1.5]);
+    }
+
+    #[test]
+    fn compute_fraction_of_empty_is_zero() {
+        assert_eq!(PhaseBreakdown::default().compute_fraction(), 0.0);
+    }
+
+    #[test]
+    fn compute_fraction_dominated_by_phase23() {
+        let b = PhaseBreakdown {
+            phase1: PhaseTimes::new(1.0, 1.0),
+            phase2: PhaseTimes::new(50.0, 50.0),
+            phase3: PhaseTimes::new(47.0, 47.0),
+            phase4: PhaseTimes::new(1.0, 1.0),
+            transfer_ns: 1.0,
+        };
+        assert!(b.compute_fraction() > 0.96);
+    }
+}

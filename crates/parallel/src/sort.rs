@@ -1,0 +1,175 @@
+//! Parallel merge sort by key.
+//!
+//! Phase IV's first step "merge[s] the tuples based on r and c values"
+//! (§III-D) — i.e. sorts the tuple stream by `(row, col)`. This module
+//! provides a stable parallel merge sort: per-thread runs sorted with the
+//! standard library's stable sort, then rounds of pairwise parallel merges
+//! between two buffers. All safe code.
+
+use crate::ThreadPool;
+
+/// Inputs below this size are sorted serially — thread spawn cost would
+/// dominate.
+const PARALLEL_THRESHOLD: usize = 8192;
+
+/// Stable parallel sort of `data` by the key extracted with `key`.
+pub fn par_sort_by_key<T, K, F>(data: &mut [T], pool: &ThreadPool, key: F)
+where
+    T: Send + Sync + Clone,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = data.len();
+    let t = pool.num_threads().min(n / PARALLEL_THRESHOLD + 1);
+    if t <= 1 || n < PARALLEL_THRESHOLD {
+        data.sort_by_key(|a| key(a));
+        return;
+    }
+
+    // Sort t contiguous runs of `data` in parallel.
+    let chunk = n.div_ceil(t);
+    {
+        let key = &key;
+        std::thread::scope(|s| {
+            for run in data.chunks_mut(chunk) {
+                s.spawn(move || run.sort_by_key(|a| key(a)));
+            }
+        });
+    }
+
+    // Iteratively merge neighbouring runs between two buffers.
+    let mut cur: Vec<T> = data.to_vec();
+    let mut next: Vec<T> = data.to_vec();
+    let mut run_len = chunk;
+    while run_len < n {
+        {
+            let key = &key;
+            let cur_ref: &[T] = &cur;
+            std::thread::scope(|s| {
+                let mut out_rest: &mut [T] = &mut next;
+                let mut lo = 0usize;
+                while lo < n {
+                    let mid = (lo + run_len).min(n);
+                    let hi = (lo + 2 * run_len).min(n);
+                    let (out, tail) = out_rest.split_at_mut(hi - lo);
+                    out_rest = tail;
+                    let a = &cur_ref[lo..mid];
+                    let b = &cur_ref[mid..hi];
+                    s.spawn(move || merge_into(a, b, out, key));
+                    lo = hi;
+                }
+            });
+        }
+        std::mem::swap(&mut cur, &mut next);
+        run_len *= 2;
+    }
+    data.clone_from_slice(&cur);
+}
+
+/// Stable two-way merge of sorted runs `a` and `b` into `out`.
+fn merge_into<T: Clone, K: Ord, F: Fn(&T) -> K>(a: &[T], b: &[T], out: &mut [T], key: &F) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = if i >= a.len() {
+            false
+        } else if j >= b.len() {
+            true
+        } else {
+            key(&a[i]) <= key(&b[j]) // <= keeps stability (a precedes b)
+        };
+        if take_a {
+            *slot = a[i].clone();
+            i += 1;
+        } else {
+            *slot = b[j].clone();
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_small_inputs() {
+        let pool = ThreadPool::new(4);
+        let mut v = vec![5u32, 3, 9, 1, 1, 0];
+        par_sort_by_key(&mut v, &pool, |&x| x);
+        assert_eq!(v, vec![0, 1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn sorts_large_random_inputs() {
+        let pool = ThreadPool::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u64> = (0..100_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        par_sort_by_key(&mut v, &pool, |&x| x);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn stable_for_equal_keys() {
+        let pool = ThreadPool::new(4);
+        // (key, original position); sort by key only, positions must stay
+        // ordered within equal keys
+        let mut v: Vec<(u8, u32)> =
+            (0..50_000).map(|i| ((i % 4) as u8, i as u32)).collect();
+        par_sort_by_key(&mut v, &pool, |&(k, _)| k);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_by_tuple_key() {
+        let pool = ThreadPool::new(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<(u32, u32, f64)> = (0..20_000)
+            .map(|_| (rng.gen_range(0..100), rng.gen_range(0..100), rng.gen()))
+            .collect();
+        par_sort_by_key(&mut v, &pool, |&(r, c, _)| (r, c));
+        assert!(v.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let pool = ThreadPool::new(4);
+        let mut v: Vec<u32> = vec![];
+        par_sort_by_key(&mut v, &pool, |&x| x);
+        assert!(v.is_empty());
+        let mut v = vec![42u32];
+        par_sort_by_key(&mut v, &pool, |&x| x);
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let pool = ThreadPool::new(3);
+        let mut v: Vec<u32> = (0..30_000).collect();
+        par_sort_by_key(&mut v, &pool, |&x| x);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let mut v: Vec<u32> = (0..30_000).rev().collect();
+        par_sort_by_key(&mut v, &pool, |&x| x);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn odd_run_counts_merge_correctly() {
+        // 3 runs (t = 3) exercises the unpaired-tail path
+        let pool = ThreadPool::new(3);
+        let mut v: Vec<u32> = (0..30_001).map(|i| (i * 7919) % 65_536).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        par_sort_by_key(&mut v, &pool, |&x| x);
+        assert_eq!(v, expected);
+    }
+}

@@ -1,0 +1,231 @@
+//! The paper's Table I dataset, reproduced as synthetic clones.
+//!
+//! The original matrices come from the SuiteSparse/SNAP collection ([18]).
+//! This offline reproduction generates, for each of the 12 matrices, a
+//! synthetic clone matched on the three properties the paper's analysis
+//! uses: row count, nonzero count, and the power-law exponent α of the
+//! row-size distribution. Matrices with α in the single digits are cloned
+//! with a power-law generator; the three "not scale-free" outliers
+//! (cop20kA, p2p-Gnutella31, roadNet-CA — α between 48 and 144) are cloned
+//! with near-uniform row sizes, which is what such a large fitted α means
+//! (§V-B c: "the relative difference in the NNZ between high dense and low
+//! dense rows is small").
+//!
+//! Set `SPMM_DATA_DIR=/path/to/mtx` to load the real `.mtx` files instead,
+//! and `SPMM_SCALE=k` (default 32) to shrink clones by `k×` so the full
+//! figure suite runs quickly on modest machines.
+
+use std::path::PathBuf;
+
+use spmm_sparse::{io, CsrMatrix, Scalar};
+
+use crate::generator::{scale_free_matrix, GeneratorConfig, RowSizeDistribution};
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogEntry {
+    /// Matrix name as printed in Table I.
+    pub name: &'static str,
+    /// Rows (== columns; "the number of columns and rows are equal for all
+    /// the matrices").
+    pub rows: usize,
+    /// Total stored nonzeros.
+    pub nnz: usize,
+    /// Power-law exponent reported in Table I.
+    pub alpha: f64,
+}
+
+/// The 12 matrices of Table I, in the paper's order.
+pub const CATALOG: [CatalogEntry; 12] = [
+    CatalogEntry { name: "scircuit", rows: 170_998, nnz: 958_936, alpha: 3.55 },
+    CatalogEntry { name: "webbase-1M", rows: 1_000_005, nnz: 3_105_536, alpha: 2.1 },
+    CatalogEntry { name: "cop20kA", rows: 121_192, nnz: 2_624_331, alpha: 143.8 },
+    CatalogEntry { name: "web-Google", rows: 916_428, nnz: 5_105_039, alpha: 3.75 },
+    CatalogEntry { name: "p2p-Gnutella31", rows: 62_586, nnz: 147_892, alpha: 48.9 },
+    CatalogEntry { name: "ca-CondMat", rows: 23_133, nnz: 186_936, alpha: 3.58 },
+    CatalogEntry { name: "roadNet-CA", rows: 1_971_281, nnz: 5_533_214, alpha: 133.8 },
+    CatalogEntry { name: "internet", rows: 124_651, nnz: 207_214, alpha: 4.63 },
+    CatalogEntry { name: "dblp2010", rows: 326_186, nnz: 1_615_400, alpha: 5.79 },
+    CatalogEntry { name: "email-Enron", rows: 36_692, nnz: 367_662, alpha: 2.1 },
+    CatalogEntry { name: "wiki-Vote", rows: 8_297, nnz: 103_689, alpha: 3.88 },
+    CatalogEntry { name: "cit-Patents", rows: 3_774_768, nnz: 16_518_948, alpha: 3.9 },
+];
+
+/// α above which a Table I matrix is treated as "not scale-free" and cloned
+/// with near-uniform row sizes.
+const NON_SCALE_FREE_ALPHA: f64 = 10.0;
+
+/// Handle for loading a Table I matrix (clone or real file).
+#[derive(Debug, Clone, Copy)]
+pub struct Dataset {
+    entry: CatalogEntry,
+}
+
+impl Dataset {
+    /// Look up a catalog entry by name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<Self> {
+        CATALOG
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+            .map(|&entry| Self { entry })
+    }
+
+    /// All 12 datasets in Table I order.
+    pub fn all() -> Vec<Self> {
+        CATALOG.iter().map(|&entry| Self { entry }).collect()
+    }
+
+    /// The Table I row.
+    pub fn entry(&self) -> CatalogEntry {
+        self.entry
+    }
+
+    /// Load the matrix at `1/scale` of its published size (`scale = 1` ⇒
+    /// full size). If `SPMM_DATA_DIR` contains `<name>.mtx` the real matrix
+    /// is read from disk instead (and `scale` is ignored).
+    ///
+    /// Small matrices are shrunk less (see [`Dataset::effective_scale`]):
+    /// wiki-Vote has only 8 297 rows in the first place, and dividing it by
+    /// 16 would leave nothing of the row-size distribution the experiments
+    /// are about.
+    pub fn load<T: Scalar>(&self, scale: usize) -> CsrMatrix<T> {
+        assert!(scale >= 1, "scale must be >= 1");
+        if let Some(dir) = std::env::var_os("SPMM_DATA_DIR") {
+            let path = PathBuf::from(dir).join(format!("{}.mtx", self.entry.name));
+            if path.exists() {
+                return io::read_matrix_market(&path)
+                    .unwrap_or_else(|e| panic!("failed reading {}: {e}", path.display()));
+            }
+        }
+        self.generate(self.effective_scale(scale))
+    }
+
+    /// The scale actually applied for a requested scale: clamped so the
+    /// clone keeps at least ~2 048 rows. Pass this to `Platform::scaled`
+    /// so each matrix runs on a platform matched to its own shrink factor.
+    pub fn effective_scale(&self, requested: usize) -> usize {
+        requested.min((self.entry.rows / 2_048).max(1))
+    }
+
+    /// Always generate the synthetic clone (never read from disk).
+    pub fn generate<T: Scalar>(&self, scale: usize) -> CsrMatrix<T> {
+        let rows = (self.entry.rows / scale).max(64);
+        // keep the mean row size of the original, so nnz scales with rows
+        let mean = self.entry.nnz as f64 / self.entry.rows as f64;
+        let nnz = ((rows as f64 * mean) as usize).clamp(rows, rows * rows);
+        let distribution = if self.entry.alpha > NON_SCALE_FREE_ALPHA {
+            let spread = (mean / 4.0).round().max(1.0) as usize;
+            RowSizeDistribution::NearUniform { spread }
+        } else {
+            // Bulk + hub mixture: a pure power law from xmin = 1 with the
+            // published α underproduces the high-density rows the paper's
+            // Figure 5 histograms document for every scale-free matrix
+            // (the published α is a *tail* fit with xmin inside the tail,
+            // not a law for the whole distribution). ~1% of rows therefore
+            // draw from the same-α tail starting at 4× the mean, restoring
+            // the HD mass while keeping the fitted tail exponent at the
+            // Table I value.
+            RowSizeDistribution::BulkAndHubs {
+                alpha: self.entry.alpha,
+                hub_fraction: 0.01,
+                hub_xmin_factor: 4.0,
+            }
+        };
+        let config = GeneratorConfig {
+            nrows: rows,
+            ncols: rows,
+            target_nnz: nnz,
+            distribution,
+            seed: seed_for(self.entry.name),
+        };
+        scale_free_matrix(&config)
+    }
+}
+
+/// Stable per-name seed (FNV-1a) so clones are reproducible across runs and
+/// machines without a global registry.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Read the scale knob from `SPMM_SCALE` (default 32).
+pub fn scale_from_env() -> usize {
+    std::env::var("SPMM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::fit_power_law;
+
+    #[test]
+    fn catalog_matches_paper_table() {
+        assert_eq!(CATALOG.len(), 12);
+        let web = Dataset::by_name("webbase-1M").unwrap().entry();
+        assert_eq!(web.rows, 1_000_005);
+        assert_eq!(web.nnz, 3_105_536);
+        assert!((web.alpha - 2.1).abs() < 1e-9);
+        assert!(Dataset::by_name("no-such-matrix").is_none());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(Dataset::by_name("WIKI-VOTE").is_some());
+    }
+
+    #[test]
+    fn clones_preserve_mean_row_size() {
+        for ds in Dataset::all() {
+            let e = ds.entry();
+            let scale = (e.rows / 8_000).max(1);
+            let m: CsrMatrix<f64> = ds.generate(scale);
+            let want_mean = e.nnz as f64 / e.rows as f64;
+            let got_mean = m.mean_row_nnz();
+            assert!(
+                (got_mean - want_mean).abs() / want_mean < 0.35,
+                "{}: mean row size {} vs expected {}",
+                e.name,
+                got_mean,
+                want_mean
+            );
+        }
+    }
+
+    #[test]
+    fn scale_free_clones_have_low_alpha_fit() {
+        let ds = Dataset::by_name("webbase-1M").unwrap();
+        let m: CsrMatrix<f64> = ds.generate(16);
+        let fit = fit_power_law(&m.row_sizes()).unwrap();
+        assert!(fit.alpha < 4.0, "webbase clone should look scale-free, α = {}", fit.alpha);
+    }
+
+    #[test]
+    fn non_scale_free_clones_have_high_alpha_fit() {
+        let ds = Dataset::by_name("roadNet-CA").unwrap();
+        let m: CsrMatrix<f64> = ds.generate(64);
+        let fit = fit_power_law(&m.row_sizes()).unwrap();
+        assert!(fit.alpha > 8.0, "roadNet clone should not look scale-free, α = {}", fit.alpha);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ds = Dataset::by_name("wiki-Vote").unwrap();
+        let a: CsrMatrix<f64> = ds.generate(4);
+        let b: CsrMatrix<f64> = ds.generate(4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_seeds() {
+        assert_ne!(seed_for("scircuit"), seed_for("internet"));
+    }
+}

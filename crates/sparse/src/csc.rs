@@ -1,0 +1,155 @@
+//! Compressed sparse column storage.
+//!
+//! Used for transposition and for the Row-Column formulation baseline the
+//! paper dismisses in §II-A ("not well suited for sparse matrices on current
+//! parallel architectures") — implementing it lets a bench demonstrate *why*.
+
+use crate::{ColIndex, CsrMatrix, Scalar};
+
+/// A sparse matrix in CSC (compressed sparse column) form. Column `j`
+/// occupies `indices[indptr[j]..indptr[j+1]]` (row indices, sorted) and the
+/// matching slice of `values`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<ColIndex>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Build from raw parts without validation (see
+    /// [`CsrMatrix::from_parts_unchecked`] for the invariant contract).
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<ColIndex>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), ncols + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        Self { nrows, ncols, indptr, indices, values }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Row indices of all stored entries, column-major.
+    #[inline]
+    pub fn indices(&self) -> &[ColIndex] {
+        &self.indices
+    }
+
+    /// Values of all stored entries, column-major.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Row indices and values of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[ColIndex], &[T]) {
+        let range = self.indptr[j]..self.indptr[j + 1];
+        (&self.indices[range.clone()], &self.values[range])
+    }
+
+    /// Number of stored entries in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.indptr[j + 1] - self.indptr[j]
+    }
+
+    /// Convert to CSR (counting sort over rows; `O(nnz + nrows)`).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &r in &self.indices {
+            row_counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let indptr = row_counts.clone();
+        let mut cursor = row_counts;
+        let mut col_indices = vec![0 as ColIndex; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                let dst = cursor[r as usize];
+                col_indices[dst] = j as ColIndex;
+                values[dst] = v;
+                cursor[r as usize] += 1;
+            }
+        }
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, col_indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_csr() -> CsrMatrix<f64> {
+        CsrMatrix::try_new(
+            3,
+            4,
+            vec![0, 2, 3, 5],
+            vec![0, 3, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let a = example_csr();
+        let csc = a.to_csc();
+        assert_eq!(csc.shape(), a.shape());
+        assert_eq!(csc.nnz(), a.nnz());
+        assert_eq!(csc.to_csr(), a);
+    }
+
+    #[test]
+    fn column_access() {
+        let csc = example_csr().to_csc();
+        let (rows, vals) = csc.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+        assert_eq!(csc.col_nnz(1), 1);
+        assert_eq!(csc.col_nnz(3), 1);
+    }
+
+    #[test]
+    fn empty_columns() {
+        let a = CsrMatrix::<f64>::try_new(2, 3, vec![0, 1, 1], vec![2], vec![7.0]).unwrap();
+        let csc = a.to_csc();
+        assert_eq!(csc.col_nnz(0), 0);
+        assert_eq!(csc.col_nnz(1), 0);
+        assert_eq!(csc.col_nnz(2), 1);
+    }
+}

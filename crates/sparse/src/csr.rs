@@ -1,0 +1,540 @@
+//! Compressed sparse row storage — the working format of every row-row
+//! kernel in the workspace.
+
+use crate::{coo::CooMatrix, csc::CscMatrix, dense::DenseMatrix, ColIndex, Scalar, SparseError};
+
+/// A sparse matrix in CSR (compressed sparse row) form.
+///
+/// Rows are contiguous: row `i` occupies `indices[indptr[i]..indptr[i+1]]`
+/// and the matching slice of `values`. Column indices within a row are kept
+/// sorted and duplicate-free; constructors enforce this (or sort on demand).
+///
+/// This is the layout assumed by the paper's Row-Row formulation (§II-A):
+/// computing `C(i,:)` walks `A`'s row `i` and, for each nonzero column `j`,
+/// walks `B`'s row `j`.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<ColIndex>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Build a CSR matrix from raw parts, validating every structural
+    /// invariant (monotone `indptr`, in-bounds sorted unique indices,
+    /// matching lengths).
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<ColIndex>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if indptr.len() != nrows + 1 {
+            return Err(SparseError::MalformedIndptr(format!(
+                "expected len {} got {}",
+                nrows + 1,
+                indptr.len()
+            )));
+        }
+        if indptr[0] != 0 {
+            return Err(SparseError::MalformedIndptr("indptr[0] != 0".into()));
+        }
+        if *indptr.last().unwrap() != indices.len() {
+            return Err(SparseError::MalformedIndptr(format!(
+                "indptr[last] = {} but nnz = {}",
+                indptr.last().unwrap(),
+                indices.len()
+            )));
+        }
+        if indices.len() != values.len() {
+            return Err(SparseError::LengthMismatch {
+                indices: indices.len(),
+                values: values.len(),
+            });
+        }
+        for w in indptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(SparseError::MalformedIndptr("indptr not monotone".into()));
+            }
+        }
+        for row in 0..nrows {
+            let cols = &indices[indptr[row]..indptr[row + 1]];
+            for (k, &c) in cols.iter().enumerate() {
+                if c as usize >= ncols {
+                    return Err(SparseError::ColumnOutOfBounds {
+                        row,
+                        col: c as usize,
+                        ncols,
+                    });
+                }
+                if k > 0 && cols[k - 1] >= c {
+                    return Err(SparseError::MalformedIndptr(format!(
+                        "row {row} indices not sorted/unique"
+                    )));
+                }
+            }
+        }
+        Ok(Self { nrows, ncols, indptr, indices, values })
+    }
+
+    /// Build from raw parts without validation.
+    ///
+    /// Not `unsafe` in the memory-safety sense (all accesses stay bounds
+    /// checked), but callers must uphold the structural invariants or later
+    /// operations will return wrong results. Kernels that construct outputs
+    /// row-by-row use this to skip the `O(nnz)` re-validation.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<ColIndex>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), nrows + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        Self { nrows, ncols, indptr, indices, values }
+    }
+
+    /// The `nrows x ncols` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as ColIndex).collect(),
+            values: vec![T::ONE; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices of all stored entries, row-major.
+    #[inline]
+    pub fn indices(&self) -> &[ColIndex] {
+        &self.indices
+    }
+
+    /// Values of all stored entries, row-major.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of stored entries in row `i` — the "row size" the paper's
+    /// threshold classifies on.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[ColIndex], &[T]) {
+        let range = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[range.clone()], &self.values[range])
+    }
+
+    /// Iterator over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Value at `(row, col)`, or `T::ZERO` when not stored. Binary search
+    /// within the row; `O(log row_nnz)`.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&(col as ColIndex)) {
+            Ok(k) => vals[k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Row sizes for every row — the degree sequence whose distribution the
+    /// paper fits a power law to (Table I's α column).
+    pub fn row_sizes(&self) -> Vec<usize> {
+        (0..self.nrows).map(|i| self.row_nnz(i)).collect()
+    }
+
+    /// Largest row size.
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.nrows).map(|i| self.row_nnz(i)).max().unwrap_or(0)
+    }
+
+    /// Average nonzeros per row.
+    pub fn mean_row_nnz(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Convert to coordinate (triplet) form.
+    pub fn to_coo(&self) -> CooMatrix<T> {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v);
+        }
+        coo
+    }
+
+    /// Convert to compressed sparse column form (a counting sort over
+    /// columns; `O(nnz + ncols)`).
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let mut col_counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            col_counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            col_counts[i + 1] += col_counts[i];
+        }
+        let indptr = col_counts.clone();
+        let mut cursor = col_counts;
+        let mut row_indices = vec![0 as ColIndex; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let dst = cursor[c as usize];
+                row_indices[dst] = r as ColIndex;
+                values[dst] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, row_indices, values)
+    }
+
+    /// Transpose. Implemented as a CSC reinterpretation: `Aᵀ` in CSR is `A`
+    /// in CSC with rows/columns swapped.
+    pub fn transpose(&self) -> CsrMatrix<T> {
+        let csc = self.to_csc();
+        CsrMatrix::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            csc.indptr().to_vec(),
+            csc.indices().to_vec(),
+            csc.values().to_vec(),
+        )
+    }
+
+    /// Materialise as a dense matrix (tests / small examples only).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            *d.get_mut(r, c) += v;
+        }
+        d
+    }
+
+    /// Drop stored entries equal to zero (kernels may produce explicit
+    /// zeros through cancellation).
+    pub fn prune_zeros(&self) -> CsrMatrix<T> {
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        indptr.push(0);
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if v != T::ZERO {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, indices, values)
+    }
+
+    /// Restrict to the rows selected by `mask` (true ⇒ keep); unselected
+    /// rows become empty. This is exactly how the paper forms `A_H`/`A_L`:
+    /// "we don't split the matrices physically" (§IV-A) — the Boolean array
+    /// classifies rows in place.
+    pub fn mask_rows(&self, mask: &[bool]) -> CsrMatrix<T> {
+        assert_eq!(mask.len(), self.nrows, "mask length must equal nrows");
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for (r, &keep) in mask.iter().enumerate() {
+            if keep {
+                let (cols, vals) = self.row(r);
+                indices.extend_from_slice(cols);
+                values.extend_from_slice(vals);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, indices, values)
+    }
+
+    /// Bytes occupied by the CSR arrays — what a CPU→GPU transfer of this
+    /// matrix must move over the PCIe link.
+    pub fn byte_size(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<ColIndex>()
+            + self.values.len() * std::mem::size_of::<T>()
+    }
+
+    /// Element-wise approximate equality; shapes must match and entries are
+    /// compared through dense expansion of both (test helper).
+    pub fn approx_eq(&self, other: &CsrMatrix<T>, rtol: f64, atol: f64) -> bool {
+        if self.shape() != other.shape() {
+            return false;
+        }
+        // Compare as merged sorted triplet streams to avoid dense blowup.
+        let a = self.prune_zeros();
+        let b = other.prune_zeros();
+        for r in 0..a.nrows {
+            let (ac, av) = a.row(r);
+            let (bc, bv) = b.row(r);
+            if ac != bc {
+                // Entries may differ only by explicit zeros pruned above —
+                // fall back to positional comparison.
+                let mut ai = 0;
+                let mut bi = 0;
+                while ai < ac.len() || bi < bc.len() {
+                    let acol = ac.get(ai).copied().unwrap_or(ColIndex::MAX);
+                    let bcol = bc.get(bi).copied().unwrap_or(ColIndex::MAX);
+                    if acol == bcol {
+                        if !av[ai].approx_eq(bv[bi], rtol, atol) {
+                            return false;
+                        }
+                        ai += 1;
+                        bi += 1;
+                    } else if acol < bcol {
+                        if !av[ai].approx_eq(T::ZERO, rtol, atol) {
+                            return false;
+                        }
+                        ai += 1;
+                    } else {
+                        if !bv[bi].approx_eq(T::ZERO, rtol, atol) {
+                            return false;
+                        }
+                        bi += 1;
+                    }
+                }
+            } else {
+                for (x, y) in av.iter().zip(bv) {
+                    if !x.approx_eq(*y, rtol, atol) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix<f64> {
+        // The 4x4 matrix A from the paper's Figure 2.
+        //   0 2 1 0
+        //   0 0 1 1
+        //   1 0 1 0
+        //   2 0 0 4
+        CsrMatrix::try_new(
+            4,
+            4,
+            vec![0, 2, 4, 6, 8],
+            vec![1, 2, 2, 3, 0, 2, 0, 3],
+            vec![2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = example();
+        assert_eq!(a.shape(), (4, 4));
+        assert_eq!(a.nnz(), 8);
+        assert_eq!(a.row_nnz(0), 2);
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.row(3), (&[0, 3][..], &[2.0, 4.0][..]));
+        assert_eq!(a.max_row_nnz(), 2);
+        assert!((a.mean_row_nnz() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_indptr_length() {
+        let e = CsrMatrix::<f64>::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::MalformedIndptr(_))));
+    }
+
+    #[test]
+    fn rejects_nonmonotone_indptr() {
+        let e = CsrMatrix::<f64>::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::MalformedIndptr(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_column() {
+        let e = CsrMatrix::<f64>::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::ColumnOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn rejects_unsorted_row() {
+        let e = CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::MalformedIndptr(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_column() {
+        let e = CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::MalformedIndptr(_))));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let e = CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![0, 1], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let i = CsrMatrix::<f64>::identity(5);
+        assert_eq!(i.nnz(), 5);
+        for k in 0..5 {
+            assert_eq!(i.get(k, k), 1.0);
+        }
+        assert_eq!(i.transpose(), i);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = example();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let a = example();
+        let t = a.transpose();
+        for (r, c, v) in a.iter() {
+            assert_eq!(t.get(c, r), v);
+        }
+        assert_eq!(t.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn to_csc_and_back() {
+        let a = example();
+        let csc = a.to_csc();
+        assert_eq!(csc.to_csr(), a);
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let a = example();
+        assert_eq!(a.to_coo().to_csr().unwrap(), a);
+    }
+
+    #[test]
+    fn dense_agrees() {
+        let a = example();
+        let d = a.to_dense();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(d.get(r, c), a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn mask_rows_splits_high_low() {
+        let a = example();
+        let mask = vec![true, false, true, false];
+        let high = a.mask_rows(&mask);
+        assert_eq!(high.nrows(), 4);
+        assert_eq!(high.row_nnz(0), 2);
+        assert_eq!(high.row_nnz(1), 0);
+        assert_eq!(high.row_nnz(2), 2);
+        assert_eq!(high.row_nnz(3), 0);
+        // complement mask reconstitutes the matrix
+        let low = a.mask_rows(&[false, true, false, true]);
+        assert_eq!(high.nnz() + low.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn prune_zeros_removes_explicit_zeros() {
+        let a = CsrMatrix::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![0.0, 2.0, 0.0])
+            .unwrap();
+        let p = a.prune_zeros();
+        assert_eq!(p.nnz(), 1);
+        assert_eq!(p.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_explicit_zeros() {
+        let a = CsrMatrix::try_new(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 0.0]).unwrap();
+        let b = CsrMatrix::try_new(1, 3, vec![0, 1], vec![0], vec![1.0 + 1e-13]).unwrap();
+        assert!(a.approx_eq(&b, 1e-9, 1e-12));
+        let c = CsrMatrix::try_new(1, 3, vec![0, 1], vec![1], vec![1.0]).unwrap();
+        assert!(!a.approx_eq(&c, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn byte_size_counts_arrays() {
+        let a = example();
+        let expected = 5 * std::mem::size_of::<usize>() + 8 * 4 + 8 * 8;
+        assert_eq!(a.byte_size(), expected);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CsrMatrix::<f64>::zeros(3, 7);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.shape(), (3, 7));
+        assert_eq!(z.row(2), (&[][..], &[][..]));
+    }
+}

@@ -1,0 +1,216 @@
+//! ELLPACK (ELL) storage — the GPU-friendly fixed-width format of the
+//! cuSPARSE era.
+//!
+//! ELL pads every row to the same width so that column-major traversal is
+//! perfectly coalesced on SIMD hardware. Its famous weakness is exactly
+//! this paper's setting: on a scale-free matrix the padded width is the
+//! *maximum* row size, so storage and work blow up by orders of magnitude.
+//! [`EllMatrix::padding_ratio`] quantifies that blow-up; the `hybrid_split`
+//! helper shows the classic ELL+COO mitigation, which is the format-level
+//! cousin of the paper's H/L row split.
+
+use crate::{ColIndex, CsrMatrix, Scalar};
+
+/// An ELL matrix: `nrows × width` slots in column-major order, rows padded
+/// with an invalid column marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    width: usize,
+    /// `indices[slot * nrows + row]` — column of the entry, or
+    /// `ColIndex::MAX` for padding.
+    indices: Vec<ColIndex>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> EllMatrix<T> {
+    /// Convert from CSR. Width is the maximum row size.
+    pub fn from_csr(a: &CsrMatrix<T>) -> Self {
+        let width = a.max_row_nnz();
+        let slots = width * a.nrows();
+        let mut indices = vec![ColIndex::MAX; slots];
+        let mut values = vec![T::ZERO; slots];
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            for (k, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                indices[k * a.nrows() + r] = c;
+                values[k * a.nrows() + r] = v;
+            }
+        }
+        Self { nrows: a.nrows(), ncols: a.ncols(), width, indices, values }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Padded row width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Stored slots (including padding).
+    pub fn slots(&self) -> usize {
+        self.width * self.nrows
+    }
+
+    /// Actual nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.iter().filter(|&&c| c != ColIndex::MAX).count()
+    }
+
+    /// `slots / nnz` — how much the padding inflates storage. 1.0 for a
+    /// perfectly uniform matrix; huge for scale-free ones (the reason ELL
+    /// alone cannot serve the paper's workloads).
+    pub fn padding_ratio(&self) -> f64 {
+        let nnz = self.nnz();
+        if nnz == 0 {
+            1.0
+        } else {
+            self.slots() as f64 / nnz as f64
+        }
+    }
+
+    /// Back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for r in 0..self.nrows {
+            for k in 0..self.width {
+                let c = self.indices[k * self.nrows + r];
+                if c != ColIndex::MAX {
+                    indices.push(c);
+                    values.push(self.values[k * self.nrows + r]);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, indices, values)
+    }
+
+    /// SpMV over the ELL layout (column-major traversal, the coalesced
+    /// access pattern the format exists for).
+    pub fn spmv(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.ncols, "vector length must match ncols");
+        let mut y = vec![T::ZERO; self.nrows];
+        for k in 0..self.width {
+            let col_slice = &self.indices[k * self.nrows..(k + 1) * self.nrows];
+            let val_slice = &self.values[k * self.nrows..(k + 1) * self.nrows];
+            for r in 0..self.nrows {
+                let c = col_slice[r];
+                if c != ColIndex::MAX {
+                    y[r] += val_slice[r] * x[c as usize];
+                }
+            }
+        }
+        y
+    }
+}
+
+/// Split a matrix into an ELL part of width `w` plus a COO remainder — the
+/// classic HYB format. Returns `(ell_part, coo_remainder)` as CSR matrices
+/// whose sum equals the input.
+pub fn hybrid_split<T: Scalar>(a: &CsrMatrix<T>, w: usize) -> (CsrMatrix<T>, CsrMatrix<T>) {
+    let mut e_indptr = vec![0usize];
+    let mut e_indices = Vec::new();
+    let mut e_values = Vec::new();
+    let mut r_indptr = vec![0usize];
+    let mut r_indices = Vec::new();
+    let mut r_values = Vec::new();
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        let cut = cols.len().min(w);
+        e_indices.extend_from_slice(&cols[..cut]);
+        e_values.extend_from_slice(&vals[..cut]);
+        r_indices.extend_from_slice(&cols[cut..]);
+        r_values.extend_from_slice(&vals[cut..]);
+        e_indptr.push(e_indices.len());
+        r_indptr.push(r_indices.len());
+    }
+    (
+        CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), e_indptr, e_indices, e_values),
+        CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), r_indptr, r_indices, r_values),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    fn skewed() -> CsrMatrix<f64> {
+        // one dense row + several sparse rows: the scale-free pathology
+        CsrMatrix::try_new(
+            4,
+            6,
+            vec![0, 6, 7, 8, 8],
+            vec![0, 1, 2, 3, 4, 5, 2, 4],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = skewed();
+        let e = EllMatrix::from_csr(&a);
+        assert_eq!(e.to_csr(), a);
+        assert_eq!(e.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn padding_blows_up_on_skewed_rows() {
+        let a = skewed();
+        let e = EllMatrix::from_csr(&a);
+        assert_eq!(e.width(), 6);
+        assert_eq!(e.slots(), 24);
+        assert!(e.padding_ratio() > 2.9, "ratio {}", e.padding_ratio());
+        // a uniform matrix pads hardly at all
+        let u = CsrMatrix::<f64>::identity(5);
+        assert_eq!(EllMatrix::from_csr(&u).padding_ratio(), 1.0);
+    }
+
+    #[test]
+    fn spmv_matches_csr_reference() {
+        let a = skewed();
+        let e = EllMatrix::from_csr(&a);
+        let x = vec![1.0, -1.0, 2.0, 0.5, 3.0, -2.0];
+        let want = crate::reference::spmv(&a, &x).unwrap();
+        let got = e.spmv(&x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hybrid_split_partitions_exactly() {
+        let a = skewed();
+        let (e, r) = hybrid_split(&a, 2);
+        assert_eq!(e.nnz() + r.nnz(), a.nnz());
+        // widths respected
+        assert!(e.max_row_nnz() <= 2);
+        // sum reconstructs the input
+        let sum = ops::add(1.0, &e, 1.0, &r).unwrap();
+        assert!(sum.approx_eq(&a, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let z = CsrMatrix::<f64>::zeros(3, 3);
+        let e = EllMatrix::from_csr(&z);
+        assert_eq!(e.width(), 0);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.to_csr(), z);
+        assert_eq!(e.spmv(&[1.0, 1.0, 1.0]), vec![0.0; 3]);
+    }
+}

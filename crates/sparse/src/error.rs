@@ -1,0 +1,80 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting, or reading matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A column index is out of bounds for the declared shape.
+    ColumnOutOfBounds { row: usize, col: usize, ncols: usize },
+    /// A row index is out of bounds for the declared shape.
+    RowOutOfBounds { row: usize, nrows: usize },
+    /// The row-pointer array is malformed (wrong length, non-monotone, or
+    /// inconsistent with the index/value array lengths).
+    MalformedIndptr(String),
+    /// indices/values length mismatch.
+    LengthMismatch { indices: usize, values: usize },
+    /// Shapes incompatible for the requested operation (e.g. `A * B` with
+    /// `A.ncols != B.nrows`).
+    ShapeMismatch { left: (usize, usize), right: (usize, usize) },
+    /// Matrix Market parsing failure with line number context.
+    Parse { line: usize, msg: String },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::ColumnOutOfBounds { row, col, ncols } => {
+                write!(f, "column {col} out of bounds in row {row} (ncols = {ncols})")
+            }
+            SparseError::RowOutOfBounds { row, nrows } => {
+                write!(f, "row {row} out of bounds (nrows = {nrows})")
+            }
+            SparseError::MalformedIndptr(msg) => write!(f, "malformed indptr: {msg}"),
+            SparseError::LengthMismatch { indices, values } => {
+                write!(f, "indices ({indices}) and values ({values}) lengths differ")
+            }
+            SparseError::ShapeMismatch { left, right } => {
+                write!(
+                    f,
+                    "incompatible shapes {}x{} and {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
+            }
+            SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparseError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = SparseError::ColumnOutOfBounds { row: 3, col: 9, ncols: 5 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9') && s.contains('5'));
+
+        let e = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+    }
+}

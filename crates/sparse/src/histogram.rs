@@ -1,0 +1,221 @@
+//! Row-size histograms — the raw material of the paper's Figures 1 and 5.
+//!
+//! The paper classifies rows as *high density* (≥ threshold nonzeros) or
+//! *low density* and plots, per nonzero count, how many rows have that many
+//! nonzeros (log-scale Y). [`RowHistogram`] computes exactly that series
+//! plus the derived quantities the figures annotate: the threshold, the
+//! number of high-density (HD) rows, and quantiles used by the empirical
+//! threshold search.
+
+use crate::{CsrMatrix, Scalar};
+
+/// Histogram of nonzeros-per-row for a sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowHistogram {
+    /// `counts[k]` = number of rows with exactly `k` stored entries.
+    counts: Vec<usize>,
+    nrows: usize,
+    nnz: usize,
+}
+
+impl RowHistogram {
+    /// Build the histogram from a matrix.
+    pub fn from_matrix<T: Scalar>(m: &CsrMatrix<T>) -> Self {
+        Self::from_row_sizes(m.nrows(), (0..m.nrows()).map(|i| m.row_nnz(i)))
+    }
+
+    /// Build from an iterator of row sizes.
+    pub fn from_row_sizes(nrows: usize, sizes: impl IntoIterator<Item = usize>) -> Self {
+        let mut counts: Vec<usize> = Vec::new();
+        let mut nnz = 0;
+        let mut seen = 0;
+        for s in sizes {
+            if s >= counts.len() {
+                counts.resize(s + 1, 0);
+            }
+            counts[s] += 1;
+            nnz += s;
+            seen += 1;
+        }
+        assert_eq!(seen, nrows, "row size iterator length must equal nrows");
+        Self { counts, nrows, nnz }
+    }
+
+    /// `counts()[k]` = number of rows with exactly `k` nonzeros. This is the
+    /// bar series of Figures 1 and 5.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Total nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Largest observed row size.
+    pub fn max_row_size(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Number of rows with at least `threshold` nonzeros — the "HD" count
+    /// annotated in Figure 5's legends.
+    pub fn high_density_rows(&self, threshold: usize) -> usize {
+        if threshold >= self.counts.len() {
+            0
+        } else {
+            self.counts[threshold..].iter().sum()
+        }
+    }
+
+    /// Number of nonzeros living in rows of size ≥ `threshold` — the work
+    /// volume that `A_H` carries.
+    pub fn high_density_nnz(&self, threshold: usize) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .skip(threshold)
+            .map(|(size, &n)| size * n)
+            .sum()
+    }
+
+    /// Smallest row size `s` such that at least `q` (0..=1) of all rows have
+    /// size ≤ `s`. Used to generate candidate thresholds for the paper's
+    /// empirical Phase I search.
+    pub fn quantile(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let target = ((q * self.nrows as f64).ceil() as usize).max(1);
+        let mut cum = 0;
+        for (size, &n) in self.counts.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return size;
+            }
+        }
+        self.max_row_size()
+    }
+
+    /// Candidate thresholds for the empirical sweep: distinct row sizes at
+    /// evenly spaced row quantiles, always including 0 and max+1 (the two
+    /// degenerate ends the paper discusses: all-CPU and all-GPU).
+    pub fn threshold_candidates(&self, n: usize) -> Vec<usize> {
+        let mut cands = vec![0];
+        for k in 1..n {
+            cands.push(self.quantile(k as f64 / n as f64));
+        }
+        cands.push(self.max_row_size() + 1);
+        cands.sort_unstable();
+        cands.dedup();
+        cands
+    }
+
+    /// Log-binned series `(bin_start, rows_in_bin)` for plotting with a
+    /// log-scale X axis as the paper's figures do. Bins double in width.
+    pub fn log_binned(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut lo = 1usize;
+        // rows with zero nonzeros get their own bin
+        if !self.counts.is_empty() && self.counts[0] > 0 {
+            out.push((0, self.counts[0]));
+        }
+        while lo <= self.max_row_size() {
+            let hi = (lo * 2).min(self.max_row_size() + 1);
+            let rows: usize = self.counts[lo.min(self.counts.len())..hi.min(self.counts.len())]
+                .iter()
+                .sum();
+            if rows > 0 {
+                out.push((lo, rows));
+            }
+            lo = hi.max(lo + 1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(sizes: &[usize]) -> RowHistogram {
+        RowHistogram::from_row_sizes(sizes.len(), sizes.iter().copied())
+    }
+
+    #[test]
+    fn basic_counts() {
+        let h = hist(&[0, 1, 1, 3, 5, 5, 5]);
+        assert_eq!(h.nrows(), 7);
+        assert_eq!(h.nnz(), 0 + 1 + 1 + 3 + 5 + 5 + 5);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[5], 3);
+        assert_eq!(h.max_row_size(), 5);
+    }
+
+    #[test]
+    fn high_density_counting() {
+        let h = hist(&[0, 1, 1, 3, 5, 5, 5]);
+        assert_eq!(h.high_density_rows(0), 7);
+        assert_eq!(h.high_density_rows(2), 4);
+        assert_eq!(h.high_density_rows(5), 3);
+        assert_eq!(h.high_density_rows(6), 0);
+        assert_eq!(h.high_density_rows(100), 0);
+        assert_eq!(h.high_density_nnz(5), 15);
+        assert_eq!(h.high_density_nnz(2), 18);
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = hist(&[1, 1, 1, 1, 10, 10, 100, 100, 100, 1000]);
+        assert_eq!(h.quantile(0.4), 1);
+        assert_eq!(h.quantile(0.6), 10);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn candidates_include_degenerate_ends() {
+        let h = hist(&[1, 2, 3, 4, 100]);
+        let c = h.threshold_candidates(4);
+        assert_eq!(c[0], 0);
+        assert_eq!(*c.last().unwrap(), 101);
+        // strictly increasing, unique
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn from_matrix_agrees_with_row_sizes() {
+        let m = CsrMatrix::<f64>::try_new(
+            3,
+            3,
+            vec![0, 2, 2, 3],
+            vec![0, 1, 2],
+            vec![1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let h = RowHistogram::from_matrix(&m);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[2], 1);
+    }
+
+    #[test]
+    fn log_bins_cover_all_rows() {
+        let sizes: Vec<usize> = (0..200).map(|i| i % 37).collect();
+        let h = hist(&sizes);
+        let binned = h.log_binned();
+        let total: usize = binned.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 200);
+        // bin starts strictly increase
+        assert!(binned.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn length_mismatch_panics() {
+        RowHistogram::from_row_sizes(3, [1usize, 2].into_iter());
+    }
+}

@@ -1,0 +1,261 @@
+//! Matrix Market (`.mtx`) reader/writer.
+//!
+//! The paper's dataset (Table I) comes from the SuiteSparse/SNAP collection,
+//! which distributes Matrix Market files. The offline reproduction generates
+//! synthetic clones instead, but this module lets the real files be dropped
+//! in (`SPMM_DATA_DIR`) for a faithful rerun.
+//!
+//! Supported: `matrix coordinate real|integer|pattern general|symmetric`.
+//! Pattern entries get value 1.0; symmetric files are expanded to general.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{CooMatrix, CsrMatrix, Scalar, SparseError};
+
+/// Kind of value field in the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueKind {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry declared in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Read a Matrix Market file from disk into CSR.
+pub fn read_matrix_market<T: Scalar, P: AsRef<Path>>(path: P) -> Result<CsrMatrix<T>, SparseError> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market_from(BufReader::new(file))
+}
+
+/// Read Matrix Market data from any reader into CSR.
+pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>, SparseError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // --- header ---
+    let (lineno, header) = loop {
+        match lines.next() {
+            Some((n, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (n + 1, line);
+                }
+            }
+            None => {
+                return Err(SparseError::Parse { line: 0, msg: "empty file".into() });
+            }
+        }
+    };
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%MatrixMarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("bad header: {header:?}"),
+        });
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("unsupported format {:?} (only coordinate)", tokens[2]),
+        });
+    }
+    let kind = match tokens[3] {
+        "real" => ValueKind::Real,
+        "integer" => ValueKind::Integer,
+        "pattern" => ValueKind::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported value kind {other:?}"),
+            })
+        }
+    };
+    let symmetry = match tokens[4] {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+
+    // --- size line (first non-comment, non-empty line after header) ---
+    let (lineno, size_line) = loop {
+        match lines.next() {
+            Some((n, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (n + 1, line);
+                }
+            }
+            None => {
+                return Err(SparseError::Parse { line: 0, msg: "missing size line".into() });
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| SparseError::Parse { line: lineno, msg: e.to_string() })?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("size line needs 3 fields, got {}", dims.len()),
+        });
+    }
+    let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    // --- entries ---
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, declared_nnz);
+    let mut seen = 0usize;
+    for (n, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_idx = |s: Option<&str>, what: &str| -> Result<usize, SparseError> {
+            s.ok_or_else(|| SparseError::Parse { line: n + 1, msg: format!("missing {what}") })?
+                .parse::<usize>()
+                .map_err(|e| SparseError::Parse { line: n + 1, msg: e.to_string() })
+        };
+        let r = parse_idx(it.next(), "row")?;
+        let c = parse_idx(it.next(), "col")?;
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(SparseError::Parse {
+                line: n + 1,
+                msg: format!("1-based coordinate ({r}, {c}) out of range {nrows}x{ncols}"),
+            });
+        }
+        let v = match kind {
+            ValueKind::Pattern => T::ONE,
+            _ => {
+                let s = it.next().ok_or_else(|| SparseError::Parse {
+                    line: n + 1,
+                    msg: "missing value".into(),
+                })?;
+                let f: f64 = s
+                    .parse()
+                    .map_err(|e: std::num::ParseFloatError| SparseError::Parse {
+                        line: n + 1,
+                        msg: e.to_string(),
+                    })?;
+                T::from_f64(f)
+            }
+        };
+        coo.push(r - 1, c - 1, v);
+        if symmetry == Symmetry::Symmetric && r != c {
+            coo.push(c - 1, r - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::Parse {
+            line: 0,
+            msg: format!("declared {declared_nnz} entries, found {seen}"),
+        });
+    }
+    coo.to_csr()
+}
+
+/// Write a CSR matrix as `matrix coordinate real general`.
+pub fn write_matrix_market<T: Scalar, W: Write>(
+    matrix: &CsrMatrix<T>,
+    writer: &mut W,
+) -> Result<(), SparseError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% generated by hetero-spmm")?;
+    writeln!(writer, "{} {} {}", matrix.nrows(), matrix.ncols(), matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 3 4\n\
+        1 1 2.5\n\
+        1 3 1.0\n\
+        2 2 -3.0\n\
+        3 1 4.0\n";
+
+    #[test]
+    fn reads_general_real() {
+        let m: CsrMatrix<f64> = read_matrix_market_from(SIMPLE.as_bytes()).unwrap();
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 2.5);
+        assert_eq!(m.get(1, 1), -3.0);
+        assert_eq!(m.get(2, 0), 4.0);
+    }
+
+    #[test]
+    fn reads_pattern() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m: CsrMatrix<f64> = read_matrix_market_from(src.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let m: CsrMatrix<f64> = read_matrix_market_from(src.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let src = "%%NotMatrixMarket\n1 1 0\n";
+        assert!(read_matrix_market_from::<f64, _>(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_coordinate() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let err = read_matrix_market_from::<f64, _>(src.as_bytes()).unwrap_err();
+        assert!(matches!(err, SparseError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_entry_count_mismatch() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market_from::<f64, _>(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let m: CsrMatrix<f64> = read_matrix_market_from(SIMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back: CsrMatrix<f64> = read_matrix_market_from(&buf[..]).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn duplicate_entries_sum() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n1 1 2.0\n";
+        let m: CsrMatrix<f64> = read_matrix_market_from(src.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Element-wise and structural operations on CSR matrices.
+//!
+//! Utilities a downstream user of an spmm library expects next to the
+//! product itself: linear combinations (residual checks, graph Laplacians),
+//! Hadamard products (masking), filtering, and symmetric permutation
+//! (reordering experiments — the paper's §III-A reorders rows *logically*
+//! via the Boolean array; these helpers let one do it physically).
+
+use crate::{ColIndex, CsrMatrix, Scalar, SparseError};
+
+/// `alpha * A + beta * B` (shapes must match). `O(nnz(A) + nnz(B))` merge
+/// per row; explicit zeros from cancellation are kept (use
+/// [`CsrMatrix::prune_zeros`] to drop them).
+pub fn add<T: Scalar>(
+    alpha: T,
+    a: &CsrMatrix<T>,
+    beta: T,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape() });
+    }
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices: Vec<ColIndex> = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut values: Vec<T> = Vec::with_capacity(a.nnz() + b.nnz());
+    indptr.push(0);
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0, 0);
+        while i < ac.len() || j < bc.len() {
+            let ca = ac.get(i).copied().unwrap_or(ColIndex::MAX);
+            let cb = bc.get(j).copied().unwrap_or(ColIndex::MAX);
+            match ca.cmp(&cb) {
+                std::cmp::Ordering::Less => {
+                    indices.push(ca);
+                    values.push(alpha * av[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    indices.push(cb);
+                    values.push(beta * bv[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    indices.push(ca);
+                    values.push(alpha * av[i] + beta * bv[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+}
+
+/// Element-wise (Hadamard) product `A ∘ B`: entries present in both.
+pub fn hadamard<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape() });
+    }
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices: Vec<ColIndex> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+    indptr.push(0);
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0, 0);
+        while i < ac.len() && j < bc.len() {
+            match ac[i].cmp(&bc[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    indices.push(ac[i]);
+                    values.push(av[i] * bv[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+}
+
+/// Scale every stored value by `alpha`.
+pub fn scale<T: Scalar>(a: &CsrMatrix<T>, alpha: T) -> CsrMatrix<T> {
+    CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        a.indptr().to_vec(),
+        a.indices().to_vec(),
+        a.values().iter().map(|&v| alpha * v).collect(),
+    )
+}
+
+/// Keep only the entries for which `keep(row, col, value)` is true.
+pub fn filter<T: Scalar>(
+    a: &CsrMatrix<T>,
+    mut keep: impl FnMut(usize, usize, T) -> bool,
+) -> CsrMatrix<T> {
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices: Vec<ColIndex> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+    indptr.push(0);
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            if keep(r, c as usize, v) {
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+/// Symmetric permutation `P A Pᵀ`: entry `(i, j)` moves to
+/// `(perm[i], perm[j])`. `perm` must be a permutation of `0..n`.
+pub fn permute_symmetric<T: Scalar>(
+    a: &CsrMatrix<T>,
+    perm: &[usize],
+) -> Result<CsrMatrix<T>, SparseError> {
+    if perm.len() != a.nrows() || a.nrows() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: (perm.len(), perm.len()),
+        });
+    }
+    // validate it is a permutation
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return Err(SparseError::MalformedIndptr(format!(
+                "perm is not a permutation (value {p})"
+            )));
+        }
+        seen[p] = true;
+    }
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices: Vec<ColIndex> = Vec::with_capacity(a.nnz());
+    let mut values: Vec<T> = Vec::with_capacity(a.nnz());
+    indptr.push(0);
+    let mut row_buf: Vec<(ColIndex, T)> = Vec::new();
+    for &old_r in inv.iter() {
+        let (cols, vals) = a.row(old_r);
+        row_buf.clear();
+        for (&c, &v) in cols.iter().zip(vals) {
+            row_buf.push((perm[c as usize] as ColIndex, v));
+        }
+        row_buf.sort_unstable_by_key(|&(c, _)| c);
+        for &(c, v) in &row_buf {
+            indices.push(c);
+            values.push(v);
+        }
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+}
+
+/// Sum of all stored values (e.g. total path count of a squared adjacency
+/// matrix).
+pub fn sum<T: Scalar>(a: &CsrMatrix<T>) -> T {
+    a.values().iter().copied().sum()
+}
+
+/// Frobenius norm.
+pub fn frobenius_norm<T: Scalar>(a: &CsrMatrix<T>) -> f64 {
+    a.values()
+        .iter()
+        .map(|v| {
+            let x = v.to_f64();
+            x * x
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix<f64> {
+        CsrMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_merges_and_cancels() {
+        let a = small();
+        let c = add(1.0, &a, 1.0, &a).unwrap();
+        assert_eq!(c.get(0, 0), 2.0);
+        assert_eq!(c.get(2, 2), 10.0);
+        // A - A = 0 with explicit zeros kept, pruned away afterwards
+        let z = add(1.0, &a, -1.0, &a).unwrap();
+        assert_eq!(z.nnz(), a.nnz());
+        assert_eq!(z.prune_zeros().nnz(), 0);
+    }
+
+    #[test]
+    fn add_disjoint_patterns() {
+        let a = CsrMatrix::try_new(2, 2, vec![0, 1, 1], vec![0], vec![1.0]).unwrap();
+        let b = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![2.0, 3.0]).unwrap();
+        let c = add(2.0, &a, 1.0, &b).unwrap();
+        assert_eq!(c.get(0, 0), 2.0);
+        assert_eq!(c.get(0, 1), 2.0);
+        assert_eq!(c.get(1, 0), 3.0);
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn add_shape_mismatch() {
+        let a = small();
+        let b = CsrMatrix::<f64>::zeros(2, 3);
+        assert!(add(1.0, &a, 1.0, &b).is_err());
+    }
+
+    #[test]
+    fn hadamard_intersects() {
+        let a = small();
+        let mask = CsrMatrix::try_new(3, 3, vec![0, 1, 1, 2], vec![2, 2], vec![1.0, 1.0])
+            .unwrap();
+        let h = hadamard(&a, &mask).unwrap();
+        assert_eq!(h.nnz(), 2);
+        assert_eq!(h.get(0, 2), 2.0);
+        assert_eq!(h.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn scale_multiplies_values() {
+        let s = scale(&small(), -2.0);
+        assert_eq!(s.get(1, 1), -6.0);
+        assert_eq!(s.nnz(), small().nnz());
+    }
+
+    #[test]
+    fn filter_keeps_predicate() {
+        let f = filter(&small(), |_, _, v| v > 2.5);
+        assert_eq!(f.nnz(), 3);
+        assert_eq!(f.get(0, 0), 0.0);
+        assert_eq!(f.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn permutation_preserves_structure() {
+        let a = small();
+        let perm = vec![2, 0, 1]; // old row i → new row perm[i]
+        let p = permute_symmetric(&a, &perm).unwrap();
+        assert_eq!(p.nnz(), a.nnz());
+        for (r, c, v) in a.iter() {
+            assert_eq!(p.get(perm[r], perm[c]), v);
+        }
+        // identity permutation is a no-op
+        let id: Vec<usize> = (0..3).collect();
+        assert_eq!(permute_symmetric(&a, &id).unwrap(), a);
+    }
+
+    #[test]
+    fn permutation_rejects_bad_input() {
+        let a = small();
+        assert!(permute_symmetric(&a, &[0, 0, 1]).is_err());
+        assert!(permute_symmetric(&a, &[0, 1]).is_err());
+        assert!(permute_symmetric(&a, &[0, 1, 5]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = small();
+        assert_eq!(sum(&a), 15.0);
+        let expected = (1.0f64 + 4.0 + 9.0 + 16.0 + 25.0).sqrt();
+        assert!((frobenius_norm(&a) - expected).abs() < 1e-12);
+    }
+}

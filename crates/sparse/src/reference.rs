@@ -1,0 +1,317 @@
+//! Serial reference kernels.
+//!
+//! Every heterogeneous algorithm in the workspace is tested against
+//! [`spmm_rowrow`], the classic Gustavson row-row formulation (§II-A of the
+//! paper; Gustavson 1978 is the paper's reference [7]). Also provided:
+//! the row-column formulation the paper dismisses, spmv, sparse × dense,
+//! and the work-volume measure (`flops`) that the device cost models and
+//! load-balancing analyses are built on.
+
+use crate::{ColIndex, CooMatrix, CsrMatrix, DenseMatrix, Scalar, SparseError};
+
+/// Check multiplication compatibility.
+fn check_shapes<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<(), SparseError> {
+    if a.ncols() != b.nrows() {
+        Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Serial Gustavson row-row spmm: `C(i,:) = Σ_k A(i, j_k) · B(j_k, :)`.
+///
+/// Uses a sparse accumulator (SPA): a dense value array plus an occupancy
+/// stamp, reset lazily per row. `O(flops + nnz(C) log row_nnz(C))` time,
+/// `O(ncols(B))` extra space.
+pub fn spmm_rowrow<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    check_shapes(a, b)?;
+    let n = b.ncols();
+    let mut acc = vec![T::ZERO; n];
+    let mut stamp = vec![u32::MAX; n];
+    let mut touched: Vec<ColIndex> = Vec::new();
+
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices: Vec<ColIndex> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+    indptr.push(0);
+
+    for i in 0..a.nrows() {
+        let row_stamp = i as u32;
+        touched.clear();
+        let (acols, avals) = a.row(i);
+        for (&j, &aij) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(j as usize);
+            for (&c, &bjc) in bcols.iter().zip(bvals) {
+                let cu = c as usize;
+                if stamp[cu] != row_stamp {
+                    stamp[cu] = row_stamp;
+                    acc[cu] = aij * bjc;
+                    touched.push(c);
+                } else {
+                    acc[cu] += aij * bjc;
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &c in &touched {
+            indices.push(c);
+            values.push(acc[c as usize]);
+        }
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(a.nrows(), b.ncols(), indptr, indices, values))
+}
+
+/// Row-row spmm emitting raw `⟨r, c, v⟩` tuples *without* per-row
+/// accumulation — the exact intermediate the paper's Phase II/III kernels
+/// hand to Phase IV. Duplicate `(r, c)` pairs are expected.
+pub fn spmm_rowrow_tuples<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CooMatrix<T>, SparseError> {
+    check_shapes(a, b)?;
+    let mut coo = CooMatrix::new(a.nrows(), b.ncols());
+    for i in 0..a.nrows() {
+        let (acols, avals) = a.row(i);
+        for (&j, &aij) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(j as usize);
+            for (&c, &bjc) in bcols.iter().zip(bvals) {
+                coo.push(i, c as usize, aij * bjc);
+            }
+        }
+    }
+    Ok(coo)
+}
+
+/// The Row-Column formulation the paper argues against (§II-A): computes
+/// every `C[i,j]` as a sparse dot product of `A(i,:)` with `B(:,j)` via a
+/// merge walk over sorted index lists. Provided as a comparison baseline;
+/// `O(Σ_ij (nnz(A(i,:)) + nnz(B(:,j))))` — far more index traffic than
+/// row-row on sparse inputs.
+pub fn spmm_rowcol<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    check_shapes(a, b)?;
+    let bcsc = b.to_csc();
+    let mut coo = CooMatrix::new(a.nrows(), b.ncols());
+    for i in 0..a.nrows() {
+        let (acols, avals) = a.row(i);
+        if acols.is_empty() {
+            continue;
+        }
+        for j in 0..b.ncols() {
+            let (brows, bvals) = bcsc.col(j);
+            let mut ai = 0;
+            let mut bi = 0;
+            let mut sum = T::ZERO;
+            let mut any = false;
+            while ai < acols.len() && bi < brows.len() {
+                match acols[ai].cmp(&brows[bi]) {
+                    std::cmp::Ordering::Less => ai += 1,
+                    std::cmp::Ordering::Greater => bi += 1,
+                    std::cmp::Ordering::Equal => {
+                        sum += avals[ai] * bvals[bi];
+                        any = true;
+                        ai += 1;
+                        bi += 1;
+                    }
+                }
+            }
+            if any {
+                coo.push(i, j, sum);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Sparse matrix × dense vector.
+pub fn spmv<T: Scalar>(a: &CsrMatrix<T>, x: &[T]) -> Result<Vec<T>, SparseError> {
+    if x.len() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: (x.len(), 1),
+        });
+    }
+    let mut y = vec![T::ZERO; a.nrows()];
+    for (i, yi) in y.iter_mut().enumerate() {
+        let (cols, vals) = a.row(i);
+        let mut sum = T::ZERO;
+        for (&c, &v) in cols.iter().zip(vals) {
+            sum += v * x[c as usize];
+        }
+        *yi = sum;
+    }
+    Ok(y)
+}
+
+/// Sparse × dense (the `csrmm` of the paper's conclusion, §VI).
+pub fn csrmm<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &DenseMatrix<T>,
+) -> Result<DenseMatrix<T>, SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape() });
+    }
+    let mut out = DenseMatrix::zeros(a.nrows(), b.ncols());
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        for (&j, &aij) in cols.iter().zip(vals) {
+            let brow = b.row(j as usize);
+            let orow = out.row_mut(i);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aij * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiply-add count of the row-row product `A × B`:
+/// `Σ_i Σ_{j ∈ A(i,:)} nnz(B(j,:))`.
+///
+/// This is the true work volume the paper says is "difficult to know …
+/// a-priori" per output row (§I) — computing it costs a full pass over `A`
+/// against `B`'s row sizes, which is exactly why the paper's Phase III needs
+/// dynamic balancing rather than a static estimate.
+pub fn flops<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> u64 {
+    let mut total = 0u64;
+    for i in 0..a.nrows() {
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            total += b.row_nnz(j as usize) as u64;
+        }
+    }
+    total
+}
+
+/// Per-row multiply-add counts (work volume of each output row).
+pub fn row_flops<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Vec<u64> {
+    (0..a.nrows())
+        .map(|i| {
+            let (cols, _) = a.row(i);
+            cols.iter().map(|&j| b.row_nnz(j as usize) as u64).sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2 example.
+    fn fig2() -> (CsrMatrix<f64>, CsrMatrix<f64>) {
+        let a = CsrMatrix::try_new(
+            4,
+            4,
+            vec![0, 2, 4, 6, 8],
+            vec![1, 2, 2, 3, 0, 2, 0, 3],
+            vec![2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 4.0],
+        )
+        .unwrap();
+        let b = CsrMatrix::try_new(
+            4,
+            3,
+            vec![0, 3, 4, 5, 6],
+            vec![0, 1, 2, 0, 2, 1],
+            vec![2.0, 3.0, 4.0, 8.0, 6.0, 7.0],
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn rowrow_matches_paper_fig2() {
+        let (a, b) = fig2();
+        let c = spmm_rowrow(&a, &b).unwrap();
+        assert_eq!(c.get(0, 0), 16.0);
+        assert_eq!(c.get(0, 2), 6.0);
+        assert_eq!(c.get(1, 1), 7.0);
+        assert_eq!(c.get(1, 2), 6.0);
+        assert_eq!(c.get(2, 0), 2.0);
+        assert_eq!(c.get(2, 1), 3.0);
+        assert_eq!(c.get(2, 2), 10.0);
+        assert_eq!(c.get(3, 0), 4.0);
+        assert_eq!(c.get(3, 1), 34.0);
+        assert_eq!(c.get(3, 2), 8.0);
+    }
+
+    #[test]
+    fn rowrow_matches_dense_oracle() {
+        let (a, b) = fig2();
+        let c = spmm_rowrow(&a, &b).unwrap();
+        let dense = a.to_dense().matmul(&b.to_dense());
+        assert!(c.to_dense().approx_eq(&dense, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn rowcol_agrees_with_rowrow() {
+        let (a, b) = fig2();
+        let c1 = spmm_rowrow(&a, &b).unwrap();
+        let c2 = spmm_rowcol(&a, &b).unwrap();
+        assert!(c1.approx_eq(&c2, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn tuples_reduce_to_same_matrix() {
+        let (a, b) = fig2();
+        let coo = spmm_rowrow_tuples(&a, &b).unwrap();
+        let c = coo.to_csr().unwrap();
+        let reference = spmm_rowrow(&a, &b).unwrap();
+        assert!(c.approx_eq(&reference, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let (a, b) = fig2();
+        assert!(spmm_rowrow(&b, &a).is_err()); // 4x3 * 4x4
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let (a, _) = fig2();
+        let i = CsrMatrix::identity(4);
+        assert_eq!(spmm_rowrow(&a, &i).unwrap(), a);
+        assert_eq!(spmm_rowrow(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn spmv_basic() {
+        let (a, _) = fig2();
+        let y = spmv(&a, &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 2.0, 2.0, 6.0]);
+        assert!(spmv(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn csrmm_matches_dense() {
+        let (a, b) = fig2();
+        let bd = b.to_dense();
+        let c = csrmm(&a, &bd).unwrap();
+        assert!(c.approx_eq(&a.to_dense().matmul(&bd), 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn flops_counts_multiplications() {
+        let (a, b) = fig2();
+        // A row 0 hits B rows 1 (1 nnz) and 2 (1 nnz): 2 flops, etc.
+        let per_row = row_flops(&a, &b);
+        assert_eq!(per_row, vec![2, 2, 4, 4]);
+        assert_eq!(flops(&a, &b), 12);
+        // the tuple stream has exactly `flops` entries
+        let coo = spmm_rowrow_tuples(&a, &b).unwrap();
+        assert_eq!(coo.len() as u64, flops(&a, &b));
+    }
+
+    #[test]
+    fn empty_rows_produce_empty_output_rows() {
+        let a = CsrMatrix::<f64>::zeros(3, 3);
+        let b = CsrMatrix::<f64>::identity(3);
+        let c = spmm_rowrow(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Numeric element trait for sparse kernels.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// Element type usable in every kernel of the workspace.
+///
+/// Implemented for `f32` and `f64`. The paper evaluates single- and
+/// double-precision throughput of the K20c separately (§II-B); keeping the
+/// kernels generic lets the benches exercise both.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + MulAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Lossy conversion from `f64`, for generators and test fixtures.
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `f64`, for tolerance comparisons.
+    fn to_f64(self) -> f64;
+
+    /// `|a - b| <= atol + rtol * |b|`, the standard allclose predicate.
+    fn approx_eq(self, other: Self, rtol: f64, atol: f64) -> bool {
+        let (a, b) = (self.to_f64(), other.to_f64());
+        (a - b).abs() <= atol + rtol * b.abs()
+    }
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(f64::ZERO + f64::ONE, 1.0);
+        assert_eq!(f32::ZERO + f32::ONE, 1.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerances() {
+        assert!(1.0f64.approx_eq(1.0 + 1e-12, 1e-9, 0.0));
+        assert!(!1.0f64.approx_eq(1.01, 1e-9, 0.0));
+        assert!(0.0f64.approx_eq(1e-14, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        assert_eq!(f64::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(f32::from_f64(2.5).to_f64(), 2.5);
+    }
+
+    #[test]
+    fn abs_matches_std() {
+        assert_eq!(Scalar::abs(-3.0f64), 3.0);
+        assert_eq!(Scalar::abs(-3.0f32), 3.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Lock-free double-ended claim queue over a frozen item list.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::End;
+
+/// A queue whose items are fixed at construction and then *claimed* from
+/// either end by concurrent consumers. Claiming never blocks: both cursors
+/// are packed into one `AtomicU64` (front in the high 32 bits, back in the
+/// low 32), so every claim is a single compare-and-swap and the case where
+/// the two ends meet on the final item is decided atomically.
+///
+/// Items are returned by reference; the queue never mutates them.
+#[derive(Debug)]
+pub struct DoubleEndedWorkQueue<T> {
+    items: Vec<T>,
+    /// `(front << 32) | back`; remaining items are `front..back`.
+    state: AtomicU64,
+}
+
+impl<T> DoubleEndedWorkQueue<T> {
+    /// Build a queue over `items`. Limited to `u32::MAX` items (cursor
+    /// packing); far above any realistic work-unit count.
+    pub fn new(items: Vec<T>) -> Self {
+        assert!(items.len() < u32::MAX as usize, "too many work units");
+        let back = items.len() as u64;
+        Self { items, state: AtomicU64::new(back) }
+    }
+
+    /// Total items the queue was created with.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the queue was created empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Items not yet claimed (racy snapshot).
+    pub fn remaining(&self) -> usize {
+        let s = self.state.load(Ordering::Acquire);
+        let (front, back) = unpack(s);
+        (back - front) as usize
+    }
+
+    /// Claim the next item from `end`; `None` when the queue is drained.
+    /// Returns the item's index along with the item, so consumers can
+    /// report *which* units they processed (the paper tracks `cpuOffset`
+    /// and `gpuOffset` the same way).
+    pub fn claim(&self, end: End) -> Option<(usize, &T)> {
+        let mut s = self.state.load(Ordering::Acquire);
+        loop {
+            let (front, back) = unpack(s);
+            if front >= back {
+                return None;
+            }
+            let (idx, next) = match end {
+                End::Front => (front, pack(front + 1, back)),
+                End::Back => (back - 1, pack(front, back - 1)),
+            };
+            match self.state.compare_exchange_weak(
+                s,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((idx as usize, &self.items[idx as usize])),
+                Err(cur) => s = cur,
+            }
+        }
+    }
+
+    /// Convenience: claim from the front.
+    pub fn claim_front(&self) -> Option<(usize, &T)> {
+        self.claim(End::Front)
+    }
+
+    /// Convenience: claim from the back.
+    pub fn claim_back(&self) -> Option<(usize, &T)> {
+        self.claim(End::Back)
+    }
+}
+
+#[inline]
+fn unpack(s: u64) -> (u64, u64) {
+    (s >> 32, s & 0xFFFF_FFFF)
+}
+
+#[inline]
+fn pack(front: u64, back: u64) -> u64 {
+    (front << 32) | back
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn front_and_back_claims_meet_in_middle() {
+        let q = DoubleEndedWorkQueue::new((0..5).collect::<Vec<i32>>());
+        assert_eq!(q.claim_front().unwrap().1, &0);
+        assert_eq!(q.claim_back().unwrap().1, &4);
+        assert_eq!(q.claim_front().unwrap().1, &1);
+        assert_eq!(q.claim_back().unwrap().1, &3);
+        assert_eq!(q.claim_front().unwrap().1, &2);
+        assert!(q.claim_front().is_none());
+        assert!(q.claim_back().is_none());
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let q = DoubleEndedWorkQueue::new(vec![1, 2, 3]);
+        assert_eq!(q.remaining(), 3);
+        q.claim_front();
+        assert_eq!(q.remaining(), 2);
+        q.claim_back();
+        q.claim_back();
+        assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_queue_yields_nothing() {
+        let q = DoubleEndedWorkQueue::<u8>::new(vec![]);
+        assert!(q.is_empty());
+        assert!(q.claim_front().is_none());
+        assert!(q.claim_back().is_none());
+    }
+
+    #[test]
+    fn claim_reports_indices() {
+        let q = DoubleEndedWorkQueue::new(vec!["a", "b", "c"]);
+        assert_eq!(q.claim_back().unwrap(), (2, &"c"));
+        assert_eq!(q.claim_front().unwrap(), (0, &"a"));
+    }
+
+    #[test]
+    fn concurrent_claims_are_exactly_once() {
+        const N: usize = 10_000;
+        let q = DoubleEndedWorkQueue::new((0..N).collect::<Vec<usize>>());
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let q = &q;
+                let seen = &seen;
+                let end = if t % 2 == 0 { End::Front } else { End::Back };
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some((idx, &item)) = q.claim(end) {
+                        assert_eq!(idx, item);
+                        local.push(item);
+                    }
+                    let mut g = seen.lock().unwrap();
+                    for item in local {
+                        assert!(g.insert(item), "item {item} claimed twice");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), N, "every item claimed exactly once");
+        assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    fn opposite_ends_preserve_order_locality() {
+        // front consumer sees ascending indices, back consumer descending —
+        // the property that keeps each device working on contiguous rows
+        let q = DoubleEndedWorkQueue::new((0..100).collect::<Vec<u32>>());
+        let mut fronts = Vec::new();
+        let mut backs = Vec::new();
+        for _ in 0..30 {
+            fronts.push(q.claim_front().unwrap().0);
+            backs.push(q.claim_back().unwrap().0);
+        }
+        assert!(fronts.windows(2).all(|w| w[0] < w[1]));
+        assert!(backs.windows(2).all(|w| w[0] > w[1]));
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: multiply a scale-free matrix with itself using Algorithm
+//! HH-CPU and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hetero_spmm::prelude::*;
+
+fn main() {
+    // The webbase-1M clone from the paper's Table I (the most scale-free
+    // matrix in its dataset), shrunk 32x for a quick run.
+    const SCALE: usize = 32;
+    let a = Dataset::by_name("webbase-1M")
+        .expect("catalog entry exists")
+        .load::<f64>(SCALE);
+    println!(
+        "A: {} x {} with {} nonzeros (max row = {})",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        a.max_row_nnz()
+    );
+
+    // The simulated CPU+GPU platform from the paper's §II-B — Intel i7-980
+    // (6 cores, 12 MB L3) + Tesla K20c (13 SMX) over PCIe 2.0 — rescaled to
+    // match the shrunken input (`HeteroContext::paper()` is the full-size
+    // platform).
+    let mut ctx = HeteroContext::scaled(SCALE);
+
+    // Run the paper's Algorithm HH-CPU end to end: threshold search,
+    // overlapped phase II, workqueue-balanced phase III, tuple merge.
+    let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+    println!("\nC = A x A: {} nonzeros", out.c.nnz());
+    println!("chosen threshold t = {} ({} high-density rows)", out.threshold_a, out.hd_rows_a);
+    println!("simulated wall time: {:.3} ms", out.total_ns() / 1e6);
+    let w = out.profile.walls();
+    println!(
+        "phases (ms): I {:.3} | II {:.3} | III {:.3} | IV {:.3} | transfer {:.3}",
+        w[0] / 1e6,
+        w[1] / 1e6,
+        w[2] / 1e6,
+        w[3] / 1e6,
+        out.profile.transfer_ns / 1e6
+    );
+
+    // Verify the numeric result against the serial Gustavson reference.
+    let expected = reference::spmm_rowrow(&a, &a).expect("shapes are compatible");
+    assert!(
+        out.c.approx_eq(&expected, 1e-9, 1e-12),
+        "HH-CPU result must match the serial reference"
+    );
+    println!("\nresult verified against the serial row-row reference ✓");
+
+    // Compare with the best-known heterogeneous baseline ([13]).
+    let baseline = hipc2012(&mut ctx, &a, &a);
+    println!(
+        "HiPC2012 baseline: {:.3} ms  →  HH-CPU speedup {:.2}x",
+        baseline.total_ns() / 1e6,
+        out.speedup_over(&baseline)
+    );
+}

@@ -1,0 +1,69 @@
+//! Threshold tuning: reproduce the paper's Figure 8 experiment on one
+//! matrix — sweep the Phase I density threshold and watch the convex
+//! total-time curve, then compare the sweep's best against the built-in
+//! empirical search.
+//!
+//! ```text
+//! cargo run --release --example threshold_tuning [dataset-name]
+//! ```
+
+use hetero_spmm::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "email-Enron".into());
+    let a = Dataset::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}; see Table I names"))
+        .load::<f64>(16);
+    println!(
+        "{name}: {} rows, {} nnz, max row {}",
+        a.nrows(),
+        a.nnz(),
+        a.max_row_nnz()
+    );
+
+    let mut ctx = HeteroContext::scaled(16);
+
+    println!("\n{:>8} {:>12} {:>12} {:>12} {:>9}", "t", "total ms", "II ms", "III ms", "HD rows");
+    let mut best = (f64::INFINITY, 0usize);
+    let mut t = 2usize;
+    let mut thresholds = vec![0usize];
+    while t <= a.max_row_nnz() {
+        thresholds.push(t);
+        t *= 2;
+    }
+    thresholds.push(a.max_row_nnz() + 1);
+    for t in thresholds {
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::with_threshold(t));
+        let p = out.profile;
+        println!(
+            "{:>8} {:>12.3} {:>12.3} {:>12.3} {:>9}",
+            t,
+            p.total() / 1e6,
+            p.phase2.wall() / 1e6,
+            p.phase3.wall() / 1e6,
+            out.hd_rows_a
+        );
+        if p.total() < best.0 {
+            best = (p.total(), t);
+        }
+    }
+    println!("\nsweep best: t = {} at {:.3} ms", best.1, best.0 / 1e6);
+
+    // The built-in Phase I search should land near the sweep's optimum.
+    let auto = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+    println!(
+        "empirical Phase I search chose t = {} at {:.3} ms ({:+.1}% vs sweep best)",
+        auto.threshold_a,
+        auto.total_ns() / 1e6,
+        (auto.total_ns() / best.0 - 1.0) * 100.0
+    );
+
+    // Degenerate ends, as discussed in §V-B d: t = 0 is all-CPU (≈ MKL),
+    // t > max is all-GPU.
+    let mkl = mkl_like(&mut ctx, &a, &a);
+    println!(
+        "\ncontext: MKL-like CPU-only runs at {:.3} ms; the t = 0 end of the sweep \
+         should sit near it",
+        mkl.total_ns() / 1e6
+    );
+}

@@ -1,0 +1,107 @@
+//! Cross-crate correctness: every algorithm in the workspace computes the
+//! same product as the serial Gustavson reference, on scale-free inputs,
+//! catalog clones, R-MAT graphs, and rectangular chains.
+
+use hetero_spmm::prelude::*;
+
+fn scale_free(n: usize, nnz: usize, alpha: f64, seed: u64) -> CsrMatrix<f64> {
+    scale_free_matrix(&GeneratorConfig::square_power_law(n, nnz, alpha, seed))
+}
+
+fn assert_all_agree(a: &CsrMatrix<f64>, b: &CsrMatrix<f64>, label: &str) {
+    let expected = reference::spmm_rowrow(a, b).expect("compatible shapes");
+    let mut ctx = HeteroContext::paper();
+    let units = WorkUnitConfig::auto(a.nrows());
+
+    let outputs = [
+        ("hh_cpu", hh_cpu(&mut ctx, a, b, &HhCpuConfig::default())),
+        ("hipc2012", hipc2012(&mut ctx, a, b)),
+        ("mkl_like", mkl_like(&mut ctx, a, b)),
+        ("cusparse_like", cusparse_like(&mut ctx, a, b)),
+        ("unsorted_wq", unsorted_workqueue(&mut ctx, a, b, units)),
+        ("sorted_wq", sorted_workqueue(&mut ctx, a, b, units)),
+    ];
+    for (name, out) in outputs {
+        assert!(
+            out.c.approx_eq(&expected, 1e-9, 1e-12),
+            "{name} diverged from the reference on {label}"
+        );
+        assert_eq!(out.c.shape(), (a.nrows(), b.ncols()));
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_scale_free_self_product() {
+    let a = scale_free(1_500, 9_000, 2.2, 101);
+    assert_all_agree(&a, &a, "scale-free self product");
+}
+
+#[test]
+fn all_algorithms_agree_on_distinct_operands() {
+    let a = scale_free(900, 5_400, 2.4, 102);
+    let b = scale_free(900, 4_500, 3.2, 103);
+    assert_all_agree(&a, &b, "distinct A and B");
+}
+
+#[test]
+fn all_algorithms_agree_on_near_uniform_input() {
+    // the "not scale-free" regime (roadNet-CA-like)
+    let a = scale_free_matrix(&GeneratorConfig::square_near_uniform(1_200, 4_800, 1, 104));
+    assert_all_agree(&a, &a, "near-uniform rows");
+}
+
+#[test]
+fn all_algorithms_agree_on_rmat_graph() {
+    let g: CsrMatrix<f64> = rmat(10, 6_000, (0.57, 0.19, 0.19, 0.05), 105);
+    assert_all_agree(&g, &g, "R-MAT graph");
+}
+
+#[test]
+fn all_algorithms_agree_on_catalog_clone() {
+    let a = Dataset::by_name("wiki-Vote").unwrap().load::<f64>(8);
+    assert_all_agree(&a, &a, "wiki-Vote clone");
+}
+
+#[test]
+fn hh_cpu_handles_empty_and_identity() {
+    let mut ctx = HeteroContext::paper();
+    let zero = CsrMatrix::<f64>::zeros(64, 64);
+    let out = hh_cpu(&mut ctx, &zero, &zero, &HhCpuConfig::default());
+    assert_eq!(out.c.nnz(), 0);
+
+    let id = CsrMatrix::<f64>::identity(64);
+    let out = hh_cpu(&mut ctx, &id, &id, &HhCpuConfig::default());
+    assert!(out.c.approx_eq(&id, 1e-12, 0.0), "I * I must be I");
+}
+
+#[test]
+fn rectangular_chain_matches_dense() {
+    // (A: 60x100) x (B: 100x40) through hh_cpu, checked against dense
+    let a = scale_free_matrix::<f64>(&GeneratorConfig {
+        nrows: 60,
+        ncols: 100,
+        target_nnz: 500,
+        distribution: RowSizeDistribution::PowerLaw { alpha: 2.5 },
+        seed: 9,
+    });
+    let b = scale_free_matrix::<f64>(&GeneratorConfig {
+        nrows: 100,
+        ncols: 40,
+        target_nnz: 420,
+        distribution: RowSizeDistribution::PowerLaw { alpha: 2.5 },
+        seed: 10,
+    });
+    let mut ctx = HeteroContext::paper();
+    let out = hh_cpu(&mut ctx, &a, &b, &HhCpuConfig::default());
+    let dense = a.to_dense().matmul(&b.to_dense());
+    assert!(out.c.to_dense().approx_eq(&dense, 1e-9, 1e-12));
+}
+
+#[test]
+fn f32_products_work_end_to_end() {
+    let a = scale_free_matrix::<f32>(&GeneratorConfig::square_power_law(400, 2_000, 2.3, 77));
+    let mut ctx = HeteroContext::paper();
+    let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+    let expected = reference::spmm_rowrow(&a, &a).unwrap();
+    assert!(out.c.approx_eq(&expected, 1e-4, 1e-5), "f32 result diverged");
+}

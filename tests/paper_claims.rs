@@ -1,0 +1,142 @@
+//! The paper's headline claims as executable assertions, run on the
+//! scale-matched platform (`Platform::scaled`) with reduced-size inputs.
+//! Absolute factors differ from the paper (our substrate is a simulator);
+//! each test checks the *direction* and rough magnitude of a claim.
+
+use hetero_spmm::prelude::*;
+
+fn webbase_like(seed: u64) -> CsrMatrix<f64> {
+    scale_free_matrix(&GeneratorConfig::square_power_law(16_000, 64_000, 2.1, seed))
+}
+
+#[test]
+fn hh_cpu_beats_hipc2012_on_scale_free_input() {
+    // Figure 6: "on average 25% faster compared to the results of [13]"
+    let mut ctx = HeteroContext::scaled(16);
+    let a = webbase_like(1);
+    let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+    let hi = hipc2012(&mut ctx, &a, &a);
+    let s = hh.speedup_over(&hi);
+    assert!(s > 1.0, "HH-CPU must beat HiPC2012, got {s}");
+}
+
+#[test]
+fn hh_cpu_beats_vendor_libraries() {
+    // Figure 6 footnote: 4x over cuSPARSE, 3.6x over MKL at full scale
+    let mut ctx = HeteroContext::scaled(16);
+    let a = webbase_like(2);
+    let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+    let mkl = mkl_like(&mut ctx, &a, &a);
+    let cus = cusparse_like(&mut ctx, &a, &a);
+    assert!(hh.speedup_over(&mkl) > 1.0, "vs MKL {}", hh.speedup_over(&mkl));
+    assert!(hh.speedup_over(&cus) > 1.0, "vs cuSPARSE {}", hh.speedup_over(&cus));
+}
+
+#[test]
+fn hh_cpu_beats_workqueue_baselines() {
+    // Figure 9: "15% smaller on average compared to either"
+    let mut ctx = HeteroContext::scaled(16);
+    let a = webbase_like(3);
+    let units = WorkUnitConfig::auto(a.nrows());
+    let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+    let uns = unsorted_workqueue(&mut ctx, &a, &a, units);
+    let srt = sorted_workqueue(&mut ctx, &a, &a, units);
+    assert!(hh.speedup_over(&uns) > 1.0, "vs unsorted {}", hh.speedup_over(&uns));
+    assert!(hh.speedup_over(&srt) > 1.0, "vs sorted {}", hh.speedup_over(&srt));
+}
+
+#[test]
+fn threshold_sweep_is_convex() {
+    // Figure 8: "the overall time taken by our algorithm should exhibit a
+    // convex behavior" — the interior minimum beats both degenerate ends.
+    // Uses the actual webbase-1M clone (whose cache:working-set ratio
+    // matches the paper's platform) rather than an ad-hoc matrix.
+    let mut ctx = HeteroContext::scaled(32);
+    let a = Dataset::by_name("webbase-1M").unwrap().load::<f64>(32);
+    let mut totals = Vec::new();
+    let mut t = 2usize;
+    let mut ladder = vec![0usize];
+    while t <= a.max_row_nnz() {
+        ladder.push(t);
+        t *= 2;
+    }
+    ladder.push(a.max_row_nnz() + 1);
+    for t in &ladder {
+        totals.push(hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::with_threshold(*t)).total_ns());
+    }
+    let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(min < totals[0], "interior min must beat the all-CPU end");
+    assert!(min < *totals.last().unwrap(), "interior min must beat the all-GPU end");
+}
+
+#[test]
+fn speedup_decreases_with_alpha() {
+    // Figure 10: "as α increases, the speedup achieved by Algorithm HH-CPU
+    // decreases" — compare a strongly scale-free α with a weak one
+    let mut ctx = HeteroContext::scaled(16);
+    let n = 12_000;
+    let speedup_at = |ctx: &mut HeteroContext, alpha: f64, seed: u64| {
+        let a = scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(n, n * 4, alpha, seed));
+        let b =
+            scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(n, n * 4, alpha, seed + 1));
+        let hh = hh_cpu(ctx, &a, &b, &HhCpuConfig::default());
+        let hi = hipc2012(ctx, &a, &b);
+        hh.speedup_over(&hi)
+    };
+    let strong = speedup_at(&mut ctx, 3.0, 50);
+    let weak = speedup_at(&mut ctx, 6.5, 60);
+    assert!(
+        strong > weak - 0.05,
+        "scale-free advantage should not grow with α (α=3: {strong}, α=6.5: {weak})"
+    );
+}
+
+#[test]
+fn phase_one_and_four_are_cheap() {
+    // §V-B c: "these two steps consume under 4% of the overall time" —
+    // our simulator keeps them a small minority of the run
+    let mut ctx = HeteroContext::scaled(16);
+    let a = webbase_like(5);
+    let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+    let p = out.profile;
+    let overhead = (p.phase1.wall() + p.phase4.wall()) / p.total();
+    assert!(
+        overhead < 0.4,
+        "phases I+IV should be a small minority, got {:.1}%",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn phase_three_clocks_balance() {
+    // §V-B b: per-phase CPU/GPU difference "on average under 2% of the
+    // overall runtime" — the double-ended queue keeps the clocks close
+    let mut ctx = HeteroContext::scaled(16);
+    let a = webbase_like(6);
+    let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+    let p3 = out.profile.phase3;
+    if p3.cpu_ns > 0.0 && p3.gpu_ns > 0.0 {
+        assert!(
+            p3.imbalance() / out.total_ns() < 0.2,
+            "phase III imbalance {:.1}% of total",
+            p3.imbalance() / out.total_ns() * 100.0
+        );
+    }
+}
+
+#[test]
+fn works_on_non_scale_free_inputs_without_penalty() {
+    // §V-B c: "Algorithm HH-CPU does not have disadvantages compared to
+    // other approaches even on matrices that are not scale-free" — allow a
+    // small tolerance for Phase I/IV overheads
+    let mut ctx = HeteroContext::scaled(16);
+    let a = scale_free_matrix::<f64>(&GeneratorConfig::square_near_uniform(12_000, 48_000, 1, 7));
+    let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+    let hi = hipc2012(&mut ctx, &a, &a);
+    assert!(
+        hh.total_ns() < hi.total_ns() * 1.15,
+        "HH-CPU should not lose badly on non-scale-free input: hh {} vs hipc {}",
+        hh.total_ns(),
+        hi.total_ns()
+    );
+}

@@ -1,0 +1,133 @@
+//! Property-based invariants across the workspace, driven by proptest.
+
+use hetero_spmm::prelude::*;
+use hetero_spmm::sparse::coo::Triplet;
+use proptest::prelude::*;
+
+/// Strategy: a random square CSR matrix of fixed order `n`.
+fn arb_csr_n(n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+    proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(
+        move |entries| {
+            let mut coo = CooMatrix::new(n, n);
+            for (r, c, v) in entries {
+                coo.push(r, c, v);
+            }
+            coo.to_csr().expect("in-bounds by construction")
+        },
+    )
+}
+
+/// Strategy: a random small CSR matrix with the given max dimension.
+fn arb_csr(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+    (2..max_n).prop_flat_map(move |n| arb_csr_n(n, max_nnz))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hh_cpu_matches_reference(a in arb_csr(60, 500)) {
+        let mut ctx = HeteroContext::paper();
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        let expected = reference::spmm_rowrow(&a, &a).unwrap();
+        prop_assert!(out.c.approx_eq(&expected, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn rowrow_matches_dense_oracle(
+        (a, b) in (2usize..40).prop_flat_map(|n| (arb_csr_n(n, 300), arb_csr_n(n, 300)))
+    ) {
+        let c = reference::spmm_rowrow(&a, &b).unwrap();
+        let dense = a.to_dense().matmul(&b.to_dense());
+        prop_assert!(c.to_dense().approx_eq(&dense, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in arb_csr(80, 600)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn csr_csc_roundtrip(a in arb_csr(80, 600)) {
+        prop_assert_eq!(a.to_csc().to_csr(), a.clone());
+        prop_assert_eq!(a.to_coo().to_csr().unwrap(), a);
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in arb_csr(30, 200)) {
+        // (A·A)ᵀ = Aᵀ·Aᵀ
+        let left = reference::spmm_rowrow(&a, &a).unwrap().transpose();
+        let t = a.transpose();
+        let right = reference::spmm_rowrow(&t, &t).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn merge_agrees_with_serial_conversion(
+        entries in proptest::collection::vec((0u32..50, 0u32..50, -2.0f64..2.0), 0..2_000)
+    ) {
+        let pool = hetero_spmm::parallel::ThreadPool::new(3);
+        let tuples: Vec<Triplet<f64>> =
+            entries.iter().map(|&(r, c, v)| Triplet { row: r, col: c, val: v }).collect();
+        let merged = hetero_spmm::core::merge::merge_tuples(tuples, (50, 50), &pool);
+        let mut coo = CooMatrix::new(50, 50);
+        for (r, c, v) in entries {
+            coo.push(r as usize, c as usize, v);
+        }
+        prop_assert!(merged.approx_eq(&coo.to_csr().unwrap(), 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn histogram_mass_is_conserved(a in arb_csr(100, 800)) {
+        let h = RowHistogram::from_matrix(&a);
+        prop_assert_eq!(h.nnz(), a.nnz());
+        prop_assert_eq!(h.nrows(), a.nrows());
+        let total: usize = h.counts().iter().sum();
+        prop_assert_eq!(total, a.nrows());
+        // high-density counts are monotone non-increasing in the threshold
+        for t in 0..h.max_row_size() {
+            prop_assert!(h.high_density_rows(t) >= h.high_density_rows(t + 1));
+        }
+    }
+
+    #[test]
+    fn generator_respects_shape_and_determinism(
+        n in 16usize..400, factor in 1usize..6, seed in 0u64..1_000
+    ) {
+        let nnz = n * factor;
+        let cfg = GeneratorConfig::square_power_law(n, nnz, 2.5, seed);
+        let a: CsrMatrix<f64> = scale_free_matrix(&cfg);
+        let b: CsrMatrix<f64> = scale_free_matrix(&cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.shape(), (n, n));
+        for r in 0..a.nrows() {
+            let (cols, _) = a.row(r);
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn simulated_times_are_finite_and_positive(a in arb_csr(50, 400)) {
+        prop_assume!(a.nnz() > 0);
+        let mut ctx = HeteroContext::paper();
+        let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
+        prop_assert!(out.total_ns().is_finite());
+        prop_assert!(out.total_ns() > 0.0);
+        for w in out.profile.walls() {
+            prop_assert!(w.is_finite() && w >= 0.0);
+        }
+    }
+
+    #[test]
+    fn spmv_distributes_over_product(a in arb_csr(30, 250)) {
+        // (A·A)·x == A·(A·x)
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 7) as f64 - 3.0).collect();
+        let c = reference::spmm_rowrow(&a, &a).unwrap();
+        let lhs = reference::spmv(&c, &x).unwrap();
+        let inner = reference::spmv(&a, &x).unwrap();
+        let rhs = reference::spmv(&a, &inner).unwrap();
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() <= 1e-8 + 1e-8 * r.abs());
+        }
+    }
+}
