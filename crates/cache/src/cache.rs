@@ -1,7 +1,7 @@
 //! A single set-associative LRU cache.
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes. Must be a multiple of `line_size * assoc`.
     pub size_bytes: usize,
@@ -18,7 +18,10 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.assoc >= 1, "associativity must be >= 1");
         assert!(
             self.size_bytes.is_multiple_of(self.line_size * self.assoc),
@@ -157,7 +160,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512B
-        Cache::new(CacheConfig { size_bytes: 512, line_size: 64, assoc: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_size: 64,
+            assoc: 2,
+        })
     }
 
     #[test]
@@ -227,7 +234,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = tiny(); // 8 lines total
-        // stream over 64 distinct lines twice: everything misses both times
+                            // stream over 64 distinct lines twice: everything misses both times
         for _ in 0..2 {
             for line in 0..64u64 {
                 c.access(line * 64 * 5); // *5 scatters across sets (odd stride)
@@ -250,12 +257,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_bad_line_size() {
-        Cache::new(CacheConfig { size_bytes: 512, line_size: 48, assoc: 2 });
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_size: 48,
+            assoc: 2,
+        });
     }
 
     #[test]
     fn fully_associative_degenerates_to_one_set() {
-        let c = Cache::new(CacheConfig { size_bytes: 512, line_size: 64, assoc: 8 });
+        let c = Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_size: 64,
+            assoc: 8,
+        });
         assert_eq!(c.config().num_sets(), 1);
     }
 }

@@ -7,7 +7,7 @@ use crate::cache::{AccessResult, Cache, CacheConfig};
 /// Latencies are in nanoseconds per *line* fill at that level; an access
 /// that hits L1 costs `l1_ns`, one that misses to memory costs
 /// `l1_ns + l2_ns + l3_ns + mem_ns` (the traversal accumulates).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HierarchyConfig {
     pub l1: CacheConfig,
     pub l2: CacheConfig,
@@ -29,9 +29,21 @@ impl HierarchyConfig {
     /// Westmere figures (≈4 / 10 / 40 cycles at 3.4 GHz, ≈65 ns DRAM).
     pub fn i7_980() -> Self {
         Self {
-            l1: CacheConfig { size_bytes: 32 * 1024, line_size: 64, assoc: 8 },
-            l2: CacheConfig { size_bytes: 256 * 1024, line_size: 64, assoc: 8 },
-            l3: CacheConfig { size_bytes: 12 * 1024 * 1024, line_size: 64, assoc: 16 },
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_size: 64,
+                assoc: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                line_size: 64,
+                assoc: 8,
+            },
+            l3: CacheConfig {
+                size_bytes: 12 * 1024 * 1024,
+                line_size: 64,
+                assoc: 16,
+            },
             l1_ns: 1.2,
             l2_ns: 3.0,
             l3_ns: 12.0,
@@ -176,9 +188,21 @@ mod tests {
 
     fn small() -> MemoryHierarchy {
         MemoryHierarchy::new(HierarchyConfig {
-            l1: CacheConfig { size_bytes: 256, line_size: 64, assoc: 2 },
-            l2: CacheConfig { size_bytes: 1024, line_size: 64, assoc: 4 },
-            l3: CacheConfig { size_bytes: 4096, line_size: 64, assoc: 4 },
+            l1: CacheConfig {
+                size_bytes: 256,
+                line_size: 64,
+                assoc: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024,
+                line_size: 64,
+                assoc: 4,
+            },
+            l3: CacheConfig {
+                size_bytes: 4096,
+                line_size: 64,
+                assoc: 4,
+            },
             l1_ns: 1.0,
             l2_ns: 3.0,
             l3_ns: 10.0,

@@ -18,12 +18,24 @@ fn main() {
     let a: spmm_sparse::CsrMatrix<f64> = match std::env::var("DS") {
         Ok(name) => spmm_scalefree::Dataset::by_name(&name).unwrap().load(16),
         Err(_) => {
-            let n: usize = std::env::var("N").ok().and_then(|v| v.parse().ok()).unwrap_or(12_000);
-            let m: usize = std::env::var("M").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
+            let n: usize = std::env::var("N")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(12_000);
+            let m: usize = std::env::var("M")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
             scale_free_matrix(&GeneratorConfig::square_power_law(n, n * m, 2.1, 32))
         }
     };
-    println!("nrows {} nnz {} maxrow {} flops {}", a.nrows(), a.nnz(), a.max_row_nnz(), spmm_sparse::reference::flops(&a,&a));
+    println!(
+        "nrows {} nnz {} maxrow {} flops {}",
+        a.nrows(),
+        a.nnz(),
+        a.max_row_nnz(),
+        spmm_sparse::reference::flops(&a, &a)
+    );
     let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
     show("hh-cpu", &hh);
     let hi = hipc2012(&mut ctx, &a, &a);
@@ -36,14 +48,26 @@ fn main() {
     show("unsorted-wq", &uns);
     let srt = sorted_workqueue(&mut ctx, &a, &a, WorkUnitConfig::auto(a.nrows()));
     show("sorted-wq", &srt);
-    println!("speedups: vs hipc {:.3} vs mkl {:.3} vs cusparse {:.3} vs uns {:.3} vs srt {:.3}",
-        hh.speedup_over(&hi), hh.speedup_over(&mkl), hh.speedup_over(&cus), hh.speedup_over(&uns), hh.speedup_over(&srt));
+    println!(
+        "speedups: vs hipc {:.3} vs mkl {:.3} vs cusparse {:.3} vs uns {:.3} vs srt {:.3}",
+        hh.speedup_over(&hi),
+        hh.speedup_over(&mkl),
+        hh.speedup_over(&cus),
+        hh.speedup_over(&uns),
+        hh.speedup_over(&srt)
+    );
 
     println!("-- threshold sweep --");
     for t in [2usize, 4, 8, 16, 32, 64, 128, 512, 100000] {
         let o = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::with_threshold(t));
-        println!("t={t:6}  total {:9.0}us p2 c{:8.0}/g{:8.0} p3 c{:8.0}/g{:8.0} hdA={}",
-            o.total_ns()/1e3, o.profile.phase2.cpu_ns/1e3, o.profile.phase2.gpu_ns/1e3,
-            o.profile.phase3.cpu_ns/1e3, o.profile.phase3.gpu_ns/1e3, o.hd_rows_a);
+        println!(
+            "t={t:6}  total {:9.0}us p2 c{:8.0}/g{:8.0} p3 c{:8.0}/g{:8.0} hdA={}",
+            o.total_ns() / 1e3,
+            o.profile.phase2.cpu_ns / 1e3,
+            o.profile.phase2.gpu_ns / 1e3,
+            o.profile.phase3.cpu_ns / 1e3,
+            o.profile.phase3.gpu_ns / 1e3,
+            o.hd_rows_a
+        );
     }
 }

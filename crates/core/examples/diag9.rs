@@ -1,6 +1,12 @@
 use spmm_core::*;
 fn main() {
-    for name in ["scircuit", "webbase-1M", "dblp2010", "cit-Patents", "email-Enron"] {
+    for name in [
+        "scircuit",
+        "webbase-1M",
+        "dblp2010",
+        "cit-Patents",
+        "email-Enron",
+    ] {
         let ds = spmm_scalefree::Dataset::by_name(name).unwrap();
         let eff = ds.effective_scale(32);
         let a: spmm_sparse::CsrMatrix<f64> = ds.load(32);
@@ -12,8 +18,13 @@ fn main() {
         let srt = sorted_workqueue(&mut ctx, &a, &a, units);
         let mkl = mkl_like(&mut ctx, &a, &a);
         let cus = cusparse_like(&mut ctx, &a, &a);
-        println!("{name:>12}: vs hipc {:.3} | uns {:.3} | srt {:.3} | mkl {:.3} | cus {:.3}",
-            hh.speedup_over(&hi), hh.speedup_over(&uns), hh.speedup_over(&srt),
-            hh.speedup_over(&mkl), hh.speedup_over(&cus));
+        println!(
+            "{name:>12}: vs hipc {:.3} | uns {:.3} | srt {:.3} | mkl {:.3} | cus {:.3}",
+            hh.speedup_over(&hi),
+            hh.speedup_over(&uns),
+            hh.speedup_over(&srt),
+            hh.speedup_over(&mkl),
+            hh.speedup_over(&cus)
+        );
     }
 }

@@ -115,10 +115,16 @@ mod tests {
         let ctx = HeteroContext::paper();
         let cpu_dense = ctx.cpu_ns_per_flop_estimate(200.0);
         let gpu_dense = ctx.gpu_ns_per_flop_estimate(200.0);
-        assert!(cpu_dense < gpu_dense, "CPU must win dense: {cpu_dense} vs {gpu_dense}");
+        assert!(
+            cpu_dense < gpu_dense,
+            "CPU must win dense: {cpu_dense} vs {gpu_dense}"
+        );
         let cpu_sparse = ctx.cpu_ns_per_flop_estimate(2.0);
         let gpu_sparse = ctx.gpu_ns_per_flop_estimate(2.0);
-        assert!(gpu_sparse < cpu_sparse, "GPU must win sparse: {gpu_sparse} vs {cpu_sparse}");
+        assert!(
+            gpu_sparse < cpu_sparse,
+            "GPU must win sparse: {gpu_sparse} vs {cpu_sparse}"
+        );
     }
 
     #[test]

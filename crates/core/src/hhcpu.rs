@@ -1,14 +1,13 @@
 //! Algorithm HH-CPU (the paper's Algorithm 1).
 
-use spmm_sparse::coo::Triplet;
 use spmm_sparse::{CsrMatrix, Scalar};
 
 use spmm_hetsim::{PhaseBreakdown, PhaseTimes};
 use spmm_workqueue::{End, RangeQueue};
 
 use crate::context::HeteroContext;
-use crate::kernels::{product_tuples, rows_where};
-use crate::merge::merge_tuples;
+use crate::kernels::{row_products, rows_where, RowBlock};
+use crate::merge::concat_row_blocks;
 use crate::result::SpmmOutput;
 use crate::threshold::{self, ThresholdPolicy};
 use crate::units::WorkUnitConfig;
@@ -26,7 +25,10 @@ pub struct HhCpuConfig {
 impl HhCpuConfig {
     /// Fixed equal thresholds for both matrices (the Figure 8 sweep).
     pub fn with_threshold(t: usize) -> Self {
-        Self { policy: ThresholdPolicy::Fixed { t_a: t, t_b: t }, units: None }
+        Self {
+            policy: ThresholdPolicy::Fixed { t_a: t, t_b: t },
+            units: None,
+        }
     }
 }
 
@@ -49,7 +51,11 @@ pub fn hh_cpu<T: Scalar>(
     b: &CsrMatrix<T>,
     config: &HhCpuConfig,
 ) -> SpmmOutput<T> {
-    assert_eq!(a.ncols(), b.nrows(), "A and B incompatible for multiplication");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "A and B incompatible for multiplication"
+    );
     ctx.reset();
 
     // ---- Phase I: thresholds + Boolean row classification ----
@@ -92,9 +98,10 @@ pub fn hh_cpu<T: Scalar>(
         .spmm_cost(a, b, rows_al.iter().copied(), Some(&b_low));
     let phase2 = PhaseTimes::new(cpu2, gpu2);
 
-    let mut cpu_tuples: Vec<Triplet<T>> =
-        product_tuples(a, b, &rows_ah, Some(&th.b_high), &ctx.pool);
-    let mut gpu_tuples: Vec<Triplet<T>> = product_tuples(a, b, &rows_al, Some(&b_low), &ctx.pool);
+    let mut cpu_blocks: Vec<RowBlock<T>> =
+        vec![row_products(a, b, &rows_ah, Some(&th.b_high), &ctx.pool)];
+    let mut gpu_blocks: Vec<RowBlock<T>> =
+        vec![row_products(a, b, &rows_al, Some(&b_low), &ctx.pool)];
 
     // ---- Phase III: A_L × B_H and A_H × B_L through the double-ended
     // workqueue (§III-C): "on the CPU end of the queue, we fill the queue
@@ -168,33 +175,44 @@ pub fn hh_cpu<T: Scalar>(
             cpu_clock += if high_rows {
                 ctx.cpu.spmm_cost(a, b, rows.iter().copied(), Some(b_mask))
             } else {
-                let piece_nnz: f64 =
-                    rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
+                let piece_nnz: f64 = rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
                 lh_blocked_total * piece_nnz / lh_nnz.max(1.0)
             };
-            cpu_tuples.extend(product_tuples(a, b, rows, Some(b_mask), &ctx.pool));
+            cpu_blocks.push(row_products(a, b, rows, Some(b_mask), &ctx.pool));
         } else {
             gpu_clock += ctx.gpu.spmm_cost(a, b, rows.iter().copied(), Some(b_mask));
-            gpu_tuples.extend(product_tuples(a, b, rows, Some(b_mask), &ctx.pool));
+            gpu_blocks.push(row_products(a, b, rows, Some(b_mask), &ctx.pool));
         }
     }
     let phase3 = PhaseTimes::new(cpu_clock, gpu_clock);
 
     // ---- Phase IV: merge. The GPU pre-merges its own tuples while the CPU
     // performs the full combine (results are "merged together and stored on
-    // the CPU", §III-D); the GPU's partials come down over the link. ----
-    transfer_ns += ctx.link.transfer_ns(gpu_tuples.len() * 16);
-    let tuples_merged = cpu_tuples.len() + gpu_tuples.len();
+    // the CPU", §III-D); the GPU's partials come down over the link. The
+    // simulated devices still pay the paper's sort-based recipe per stored
+    // entry (block nnz == accumulator insertions == tuples), but the host
+    // combines the row blocks with the per-row merge of
+    // [`concat_row_blocks`]. ----
+    let cpu_entries: usize = cpu_blocks.iter().map(RowBlock::nnz).sum();
+    let gpu_entries: usize = gpu_blocks.iter().map(RowBlock::nnz).sum();
+    transfer_ns += ctx.link.transfer_ns(gpu_entries * 16);
+    let tuples_merged = cpu_entries + gpu_entries;
     let phase4 = PhaseTimes::new(
         ctx.cpu.merge_cost(tuples_merged),
-        ctx.gpu.merge_cost(gpu_tuples.len()),
+        ctx.gpu.merge_cost(gpu_entries),
     );
-    cpu_tuples.extend(gpu_tuples);
-    let c = merge_tuples(cpu_tuples, (a.nrows(), b.ncols()), &ctx.pool);
+    cpu_blocks.append(&mut gpu_blocks);
+    let c = concat_row_blocks(&cpu_blocks, (a.nrows(), b.ncols()), &ctx.pool);
 
     SpmmOutput {
         c,
-        profile: PhaseBreakdown { phase1, phase2, phase3, phase4, transfer_ns },
+        profile: PhaseBreakdown {
+            phase1,
+            phase2,
+            phase3,
+            phase4,
+            transfer_ns,
+        },
         threshold_a: th.t_a,
         threshold_b: th.t_b,
         hd_rows_a: th.hd_rows_a(),
@@ -219,7 +237,10 @@ mod tests {
         let a = scale_free(800, 4_000, 2.3, 1);
         let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
         let expected = reference::spmm_rowrow(&a, &a).unwrap();
-        assert!(out.c.approx_eq(&expected, 1e-9, 1e-12), "HH-CPU result diverged");
+        assert!(
+            out.c.approx_eq(&expected, 1e-9, 1e-12),
+            "HH-CPU result diverged"
+        );
     }
 
     #[test]

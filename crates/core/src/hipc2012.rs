@@ -12,8 +12,8 @@ use spmm_sparse::{CsrMatrix, Scalar};
 use spmm_hetsim::{PhaseBreakdown, PhaseTimes};
 
 use crate::context::HeteroContext;
-use crate::kernels::product_tuples;
-use crate::merge::merge_tuples;
+use crate::kernels::row_products;
+use crate::merge::concat_row_blocks;
 use crate::result::SpmmOutput;
 
 /// Run the static-partition heterogeneous spmm of [13].
@@ -22,7 +22,11 @@ pub fn hipc2012<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
 ) -> SpmmOutput<T> {
-    assert_eq!(a.ncols(), b.nrows(), "A and B incompatible for multiplication");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "A and B incompatible for multiplication"
+    );
     ctx.reset();
 
     // A-priori static split: the CPU takes the prefix holding its
@@ -42,7 +46,11 @@ pub fn hipc2012<T: Scalar>(
         .partition_point(|&off| off < target)
         .min(a.nrows());
 
-    let upload = if std::ptr::eq(a, b) { a.byte_size() } else { a.byte_size() + b.byte_size() };
+    let upload = if std::ptr::eq(a, b) {
+        a.byte_size()
+    } else {
+        a.byte_size() + b.byte_size()
+    };
     let transfer_ns = ctx.link.transfer_ns(upload);
 
     let cpu_rows: Vec<usize> = (0..split).collect();
@@ -51,15 +59,14 @@ pub fn hipc2012<T: Scalar>(
     let gpu_ns = ctx.gpu.spmm_cost(a, b, gpu_rows.iter().copied(), None);
     let compute = PhaseTimes::new(cpu_ns, gpu_ns);
 
-    let mut tuples = product_tuples(a, b, &cpu_rows, None, &ctx.pool);
-    let gpu_tuples = product_tuples(a, b, &gpu_rows, None, &ctx.pool);
-    let gpu_count = gpu_tuples.len();
-    tuples.extend(gpu_tuples);
-    let tuples_merged = tuples.len();
+    let cpu_block = row_products(a, b, &cpu_rows, None, &ctx.pool);
+    let gpu_block = row_products(a, b, &gpu_rows, None, &ctx.pool);
+    let gpu_count = gpu_block.nnz();
+    let tuples_merged = cpu_block.nnz() + gpu_count;
 
     let transfer_ns = transfer_ns + ctx.link.transfer_ns(gpu_count * 16);
     let merge = PhaseTimes::new(ctx.cpu.merge_cost(tuples_merged), 0.0);
-    let c = merge_tuples(tuples, (a.nrows(), b.ncols()), &ctx.pool);
+    let c = concat_row_blocks(&[cpu_block, gpu_block], (a.nrows(), b.ncols()), &ctx.pool);
 
     SpmmOutput {
         c,
@@ -115,8 +122,7 @@ mod tests {
         let stat = hipc2012(&mut ctx, &a, &a);
         let dynamic = crate::hh_cpu(&mut ctx, &a, &a, &crate::HhCpuConfig::default());
         let stat_imb = stat.profile.phase2.imbalance() / stat.profile.phase2.wall();
-        let dyn_imb = dynamic.profile.phase3.imbalance()
-            / dynamic.profile.phase3.wall().max(1.0);
+        let dyn_imb = dynamic.profile.phase3.imbalance() / dynamic.profile.phase3.wall().max(1.0);
         assert!(
             dyn_imb < stat_imb + 0.25,
             "workqueue phase should not be wildly less balanced \

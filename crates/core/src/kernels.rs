@@ -1,18 +1,190 @@
-//! Numeric kernels: produce the `⟨r, c, v⟩` tuple streams of Phases II/III.
+//! Numeric kernels for the partial products of Phases II/III.
 //!
 //! These compute the *real* arithmetic (the simulated devices only charge
 //! time). Following the paper's kernel of [13], each output row is
 //! accumulated *within* the kernel (the GPU uses its `PartialOutput` array,
 //! the CPU a sparse accumulator) and only "the nonzero values of C(i,:) are
-//! copied to the output" (§II-A-b) — so one tuple is emitted per distinct
-//! `(row, col)` of the partial product, not per elementary multiplication.
-//! Phase IV then merges tuples *across* the four partial products (§III-D).
-//! Tuples are produced in deterministic row order regardless of host
+//! copied to the output" (§II-A-b) — so one stored entry is produced per
+//! distinct `(row, col)` of the partial product, not per elementary
+//! multiplication. Output is deterministic in row order regardless of host
 //! thread count.
+//!
+//! Two backends coexist:
+//!
+//! * [`row_products`] — the two-pass Gustavson engine. A symbolic pass
+//!   sizes every output row exactly, an exclusive scan turns the sizes
+//!   into offsets, and a numeric pass writes each row into its pre-offset
+//!   slot of one shared [`RowBlock`]. No intermediate tuple stream exists,
+//!   so Phase IV degrades from a global sort to a per-row combine
+//!   (`merge::concat_row_blocks`).
+//! * [`product_tuples`] — the legacy expansion path that materialises a
+//!   `Vec<Triplet>` per partial product for the global Phase IV sort. Kept
+//!   as a reference and for the wall-clock comparison in the benches.
 
-use spmm_parallel::ThreadPool;
+use spmm_parallel::{DisjointSlice, ThreadPool};
 use spmm_sparse::coo::Triplet;
-use spmm_sparse::{ColIndex, CsrMatrix, Scalar};
+use spmm_sparse::{ColIndex, CsrMatrix, RowSizer, Scalar, SparseAccumulator};
+
+/// Rows a guided worker claims at a time. Small enough that one hub row
+/// cannot hide a long tail behind it, large enough to keep the shared
+/// cursor off the hot path.
+const GUIDED_CHUNK: usize = 16;
+
+/// A partial product over a masked row set, stored as packed CSR rows.
+///
+/// `rows[k]` is the output-row index of stored row `k`; its entries live at
+/// `indices[indptr[k]..indptr[k + 1]]` (columns ascending) and the matching
+/// `values` range. Blocks from the four masked products are combined
+/// per-row by `merge::concat_row_blocks`.
+#[derive(Debug, Clone, Default)]
+pub struct RowBlock<T> {
+    /// Output-row index of each stored row, in the order requested.
+    pub rows: Vec<u32>,
+    /// Offsets into `indices`/`values`; length `rows.len() + 1`.
+    pub indptr: Vec<usize>,
+    /// Column indices, ascending within each stored row.
+    pub indices: Vec<ColIndex>,
+    /// Values matching `indices`.
+    pub values: Vec<T>,
+}
+
+impl<T> RowBlock<T> {
+    /// Empty block (no rows, no entries).
+    pub fn empty() -> Self {
+        Self {
+            rows: Vec::new(),
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of stored rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Stored entries across all rows. Equals the number of accumulator
+    /// insertions the kernel performed, which is what the simulated Phase
+    /// IV merge cost is charged on (one tuple per stored entry).
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The `k`-th stored row: `(output row, columns, values)`.
+    pub fn row(&self, k: usize) -> (u32, &[ColIndex], &[T]) {
+        let (lo, hi) = (self.indptr[k], self.indptr[k + 1]);
+        (self.rows[k], &self.indices[lo..hi], &self.values[lo..hi])
+    }
+}
+
+/// Two-pass Gustavson product of the listed rows of `a` against `b`,
+/// restricted to B rows allowed by `b_mask` (None ⇒ all).
+///
+/// Pass one sizes every output row with a [`RowSizer`]; an exclusive scan
+/// converts the sizes to offsets; pass two re-runs the products through a
+/// [`SparseAccumulator`] and drains each row, sorted, into its pre-offset
+/// slot. Both passes run under guided self-scheduling with per-thread
+/// scratch — row costs on scale-free inputs vary by orders of magnitude,
+/// so static chunking would serialise on whichever thread drew the hubs.
+/// Offsets are fixed by the symbolic pass, so the result is byte-identical
+/// across thread counts.
+pub fn row_products<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: &[usize],
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+) -> RowBlock<T> {
+    assert_eq!(a.ncols(), b.nrows(), "incompatible shapes for product");
+    if rows.is_empty() {
+        return RowBlock::empty();
+    }
+    let ncols = b.ncols();
+
+    // Pass 1 (symbolic): distinct-column count of every requested row.
+    let mut sizes = vec![0u64; rows.len()];
+    {
+        let out = DisjointSlice::new(&mut sizes);
+        pool.for_each_guided_with(
+            rows.len(),
+            GUIDED_CHUNK,
+            || RowSizer::new(ncols),
+            |sizer, range| {
+                for k in range {
+                    let (acols, _) = a.row(rows[k]);
+                    for &j in acols {
+                        if let Some(mask) = b_mask {
+                            if !mask[j as usize] {
+                                continue;
+                            }
+                        }
+                        let (bcols, _) = b.row(j as usize);
+                        for &c in bcols {
+                            sizer.mark(c);
+                        }
+                    }
+                    // each k written by exactly one claimant
+                    unsafe { out.write(k, sizer.finish_row() as u64) };
+                }
+            },
+        );
+    }
+
+    // Offsets: sizes becomes the exclusive prefix sum, total comes back.
+    let total = spmm_parallel::exclusive_scan(&mut sizes, pool) as usize;
+    let mut indptr = Vec::with_capacity(rows.len() + 1);
+    indptr.extend(sizes.iter().map(|&s| s as usize));
+    indptr.push(total);
+
+    // Pass 2 (numeric): accumulate each row and write it into its slot.
+    let mut indices = vec![0 as ColIndex; total];
+    let mut values = vec![T::ZERO; total];
+    {
+        let out_idx = DisjointSlice::new(&mut indices);
+        let out_val = DisjointSlice::new(&mut values);
+        let indptr = &indptr;
+        pool.for_each_guided_with(
+            rows.len(),
+            GUIDED_CHUNK,
+            || SparseAccumulator::new(ncols),
+            |spa, range| {
+                for k in range {
+                    let (acols, avals) = a.row(rows[k]);
+                    for (&j, &aij) in acols.iter().zip(avals) {
+                        if let Some(mask) = b_mask {
+                            if !mask[j as usize] {
+                                continue;
+                            }
+                        }
+                        let (bcols, bvals) = b.row(j as usize);
+                        for (&c, &bjc) in bcols.iter().zip(bvals) {
+                            spa.scatter(c, aij * bjc);
+                        }
+                    }
+                    let mut at = indptr[k];
+                    debug_assert_eq!(indptr[k + 1] - at, spa.nnz());
+                    spa.drain_sorted(|c, v| {
+                        // rows own disjoint indptr ranges
+                        unsafe {
+                            out_idx.write(at, c);
+                            out_val.write(at, v);
+                        }
+                        at += 1;
+                    });
+                }
+            },
+        );
+    }
+
+    let rows_u32 = rows.iter().map(|&r| r as u32).collect();
+    RowBlock {
+        rows: rows_u32,
+        indptr,
+        indices,
+        values,
+    }
+}
 
 /// Multiply the listed rows of `a` against `b`, restricted to B rows
 /// allowed by `b_mask` (None ⇒ all). Returns one tuple per stored entry of
@@ -65,7 +237,11 @@ pub fn product_tuples<T: Scalar>(
             }
             touched.sort_unstable();
             for &c in &touched {
-                out.push(Triplet { row: i as u32, col: c, val: acc[c as usize] });
+                out.push(Triplet {
+                    row: i as u32,
+                    col: c,
+                    val: acc[c as usize],
+                });
             }
         }
         out
@@ -169,5 +345,80 @@ mod tests {
         let mask = vec![true, false, false, true];
         assert_eq!(rows_where(&mask, true), vec![0, 3]);
         assert_eq!(rows_where(&mask, false), vec![1, 2]);
+    }
+
+    /// Rebuild a CSR matrix out of a single full-coverage block.
+    fn block_to_csr(block: &RowBlock<f64>, shape: (usize, usize)) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(shape.0, shape.1);
+        for k in 0..block.num_rows() {
+            let (r, cols, vals) = block.row(k);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(r as usize, c as usize, v);
+            }
+        }
+        coo.to_csr().unwrap()
+    }
+
+    #[test]
+    fn row_products_matches_reference_product() {
+        let a = fig2_a();
+        let pool = ThreadPool::new(2);
+        let rows: Vec<usize> = (0..4).collect();
+        let block = row_products(&a, &a, &rows, None, &pool);
+        let expected = reference::spmm_rowrow(&a, &a).unwrap();
+        // in-kernel accumulation ⇒ one stored entry per output nonzero
+        assert_eq!(block.nnz(), expected.nnz());
+        assert!(block_to_csr(&block, (4, 4)).approx_eq(&expected, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn row_products_agrees_with_product_tuples() {
+        let a = fig2_a();
+        let pool = ThreadPool::new(3);
+        let mask = [true, false, true, false];
+        for rows in [vec![0usize, 2], vec![1, 3], (0..4).collect()] {
+            for bmask in [None, Some(&mask[..])] {
+                let block = row_products(&a, &a, &rows, bmask, &pool);
+                let tuples = product_tuples(&a, &a, &rows, bmask, &pool);
+                assert_eq!(block.nnz(), tuples.len(), "entry counts must agree");
+                let mut it = tuples.iter();
+                for k in 0..block.num_rows() {
+                    let (r, cols, vals) = block.row(k);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let t = it.next().unwrap();
+                        assert_eq!((t.row, t.col), (r, c));
+                        assert!((t.val - v).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_products_is_deterministic_across_thread_counts() {
+        let a = fig2_a();
+        let rows: Vec<usize> = (0..4).collect();
+        let b1 = row_products(&a, &a, &rows, None, &ThreadPool::new(1));
+        let b4 = row_products(&a, &a, &rows, None, &ThreadPool::new(4));
+        assert_eq!(b1.rows, b4.rows);
+        assert_eq!(b1.indptr, b4.indptr);
+        assert_eq!(b1.indices, b4.indices);
+        assert_eq!(b1.values, b4.values);
+    }
+
+    #[test]
+    fn row_products_empty_inputs() {
+        let a = fig2_a();
+        let pool = ThreadPool::new(2);
+        let block = row_products(&a, &a, &[], None, &pool);
+        assert_eq!(block.num_rows(), 0);
+        assert_eq!(block.nnz(), 0);
+        // mask selecting no B rows ⇒ rows exist but are all empty
+        let none = vec![false; 4];
+        let rows: Vec<usize> = (0..4).collect();
+        let block = row_products(&a, &a, &rows, Some(&none), &pool);
+        assert_eq!(block.num_rows(), 4);
+        assert_eq!(block.nnz(), 0);
+        assert_eq!(block.indptr, vec![0, 0, 0, 0, 0]);
     }
 }

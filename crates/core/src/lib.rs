@@ -45,8 +45,8 @@ pub use hhcpu::{hh_cpu, HhCpuConfig};
 pub use hipc2012::hipc2012;
 pub use result::SpmmOutput;
 pub use threshold::{ThresholdPolicy, Thresholds};
-pub use vendor::{cusparse_like, mkl_like};
 pub use units::WorkUnitConfig;
+pub use vendor::{cusparse_like, mkl_like};
 pub use wq_baselines::{sorted_workqueue, unsorted_workqueue};
 
 pub use spmm_hetsim::{PhaseBreakdown, PhaseTimes, Platform, SimNs};

@@ -80,7 +80,9 @@ pub fn hh_spmv<T: Scalar>(
         ctx.gpu.boolean_mask_cost(a.nrows()),
     );
     // matrix + x up, the GPU's half of y down
-    let mut transfer_ns = ctx.link.transfer_ns(a.byte_size() + x.len() * 8 + a.nrows());
+    let mut transfer_ns = ctx
+        .link
+        .transfer_ns(a.byte_size() + x.len() * 8 + a.nrows());
     let cpu_ns = ctx.cpu.spmv_cost(a, rows_h.iter().copied());
     let gpu_ns = ctx.gpu.spmv_cost(a, rows_l.iter().copied());
     transfer_ns += ctx.link.transfer_ns(rows_l.len() * 8);
@@ -202,7 +204,10 @@ mod tests {
             &mut ctx,
             &a,
             &x,
-            ThresholdPolicy::Fixed { t_a: a.max_row_nnz() + 1, t_b: 0 },
+            ThresholdPolicy::Fixed {
+                t_a: a.max_row_nnz() + 1,
+                t_b: 0,
+            },
         );
         assert_eq!(all_gpu.hd_rows, 0);
         assert_eq!(all_gpu.profile.phase2.cpu_ns, 0.0);

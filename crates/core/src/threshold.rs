@@ -135,10 +135,18 @@ fn balanced_threshold(
         let ld_nnz = total_nnz - hd_nnz;
         let other_hd_rows = other_hist.high_density_rows(t) as f64;
         let other_hd_nnz = other_hist.high_density_nnz(t) as f64;
-        let mean_high = if other_hd_rows > 0.0 { other_hd_nnz / other_hd_rows } else { 0.0 };
+        let mean_high = if other_hd_rows > 0.0 {
+            other_hd_nnz / other_hd_rows
+        } else {
+            0.0
+        };
         let other_ld_rows = other_rows - other_hd_rows;
         let other_ld_nnz = other_nnz - other_hd_nnz;
-        let mean_low = if other_ld_rows > 0.0 { other_ld_nnz / other_ld_rows } else { 0.0 };
+        let mean_low = if other_ld_rows > 0.0 {
+            other_ld_nnz / other_ld_rows
+        } else {
+            0.0
+        };
 
         // flops of the two Phase II products under uniform column placement
         let flops_hh = hd_nnz * other_hd_nnz / other_rows;
@@ -218,7 +226,11 @@ pub fn estimate_phases<T: Scalar>(
     t: usize,
 ) -> (f64, f64) {
     let a_high = classify(a, t);
-    let b_high = if std::ptr::eq(a, b) { a_high.clone() } else { classify(b, t) };
+    let b_high = if std::ptr::eq(a, b) {
+        a_high.clone()
+    } else {
+        classify(b, t)
+    };
     let b_low: Vec<bool> = b_high.iter().map(|&h| !h).collect();
     let rows_h: Vec<usize> = (0..a.nrows()).filter(|&i| a_high[i]).collect();
     let rows_l: Vec<usize> = (0..a.nrows()).filter(|&i| !a_high[i]).collect();
@@ -284,8 +296,7 @@ pub fn estimate_phases<T: Scalar>(
             cpu_clock += if high {
                 cpu.spmm_cost(a, b, rows.iter().copied(), Some(mask))
             } else {
-                let piece_nnz: f64 =
-                    rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
+                let piece_nnz: f64 = rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
                 lh_blocked_total * piece_nnz / lh_nnz.max(1.0)
             };
         } else {

@@ -12,7 +12,10 @@ pub struct WorkUnitConfig {
 impl WorkUnitConfig {
     /// The paper's values, tuned for million-row matrices.
     pub fn paper() -> Self {
-        Self { cpu_rows: 1_000, gpu_rows: 10_000 }
+        Self {
+            cpu_rows: 1_000,
+            gpu_rows: 10_000,
+        }
     }
 
     /// Grain scaled to the matrix so reduced-size clones keep the paper's
@@ -20,7 +23,10 @@ impl WorkUnitConfig {
     /// the GPU grain 10× that — the paper's 10:1 ratio.
     pub fn auto(nrows: usize) -> Self {
         let cpu_rows = (nrows / 1_000).clamp(16, 1_000);
-        Self { cpu_rows, gpu_rows: cpu_rows * 10 }
+        Self {
+            cpu_rows,
+            gpu_rows: cpu_rows * 10,
+        }
     }
 }
 

@@ -14,8 +14,8 @@ use spmm_sparse::{CsrMatrix, Scalar};
 use spmm_hetsim::{PhaseBreakdown, PhaseTimes};
 
 use crate::context::HeteroContext;
-use crate::kernels::product_tuples;
-use crate::merge::merge_tuples;
+use crate::kernels::row_products;
+use crate::merge::concat_row_blocks;
 use crate::result::SpmmOutput;
 
 /// MKL's measured edge over the paper's handwritten CPU kernel (§III-B
@@ -36,14 +36,18 @@ pub fn mkl_like<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
 ) -> SpmmOutput<T> {
-    assert_eq!(a.ncols(), b.nrows(), "A and B incompatible for multiplication");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "A and B incompatible for multiplication"
+    );
     ctx.reset();
     let rows: Vec<usize> = (0..a.nrows()).collect();
     let cpu_ns = ctx.cpu.spmm_cost(a, b, rows.iter().copied(), None) / MKL_ADVANTAGE;
-    let tuples = product_tuples(a, b, &rows, None, &ctx.pool);
-    let tuples_merged = tuples.len();
+    let block = row_products(a, b, &rows, None, &ctx.pool);
+    let tuples_merged = block.nnz();
     let merge_ns = ctx.cpu.merge_cost(tuples_merged) / MKL_ADVANTAGE;
-    let c = merge_tuples(tuples, (a.nrows(), b.ncols()), &ctx.pool);
+    let c = concat_row_blocks(&[block], (a.nrows(), b.ncols()), &ctx.pool);
     SpmmOutput {
         c,
         profile: PhaseBreakdown {
@@ -66,16 +70,24 @@ pub fn cusparse_like<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
 ) -> SpmmOutput<T> {
-    assert_eq!(a.ncols(), b.nrows(), "A and B incompatible for multiplication");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "A and B incompatible for multiplication"
+    );
     ctx.reset();
     let rows: Vec<usize> = (0..a.nrows()).collect();
-    let upload = if std::ptr::eq(a, b) { a.byte_size() } else { a.byte_size() + b.byte_size() };
+    let upload = if std::ptr::eq(a, b) {
+        a.byte_size()
+    } else {
+        a.byte_size() + b.byte_size()
+    };
     let mut transfer_ns = ctx.link.transfer_ns(upload);
     let gpu_ns = ctx.gpu.spmm_cost(a, b, rows.iter().copied(), None) * CUSPARSE_PENALTY;
-    let tuples = product_tuples(a, b, &rows, None, &ctx.pool);
-    let tuples_merged = tuples.len();
+    let block = row_products(a, b, &rows, None, &ctx.pool);
+    let tuples_merged = block.nnz();
     let merge_ns = ctx.gpu.merge_cost(tuples_merged);
-    let c = merge_tuples(tuples, (a.nrows(), b.ncols()), &ctx.pool);
+    let c = concat_row_blocks(&[block], (a.nrows(), b.ncols()), &ctx.pool);
     transfer_ns += ctx.link.transfer_ns(c.byte_size());
     SpmmOutput {
         c,
@@ -123,7 +135,10 @@ mod tests {
         assert_eq!(mkl.profile.transfer_ns, 0.0);
         let cus = cusparse_like(&mut ctx, &a, &a);
         assert_eq!(cus.profile.phase2.cpu_ns, 0.0);
-        assert!(cus.profile.transfer_ns > 0.0, "cusparse pays PCIe both ways");
+        assert!(
+            cus.profile.transfer_ns > 0.0,
+            "cusparse pays PCIe both ways"
+        );
     }
 
     #[test]
@@ -136,7 +151,15 @@ mod tests {
         let hh = crate::hh_cpu(&mut ctx, &a, &a, &crate::HhCpuConfig::default());
         let mkl = mkl_like(&mut ctx, &a, &a);
         let cus = cusparse_like(&mut ctx, &a, &a);
-        assert!(hh.speedup_over(&mkl) > 1.0, "vs MKL: {}", hh.speedup_over(&mkl));
-        assert!(hh.speedup_over(&cus) > 1.0, "vs cuSPARSE: {}", hh.speedup_over(&cus));
+        assert!(
+            hh.speedup_over(&mkl) > 1.0,
+            "vs MKL: {}",
+            hh.speedup_over(&mkl)
+        );
+        assert!(
+            hh.speedup_over(&cus) > 1.0,
+            "vs cuSPARSE: {}",
+            hh.speedup_over(&cus)
+        );
     }
 }

@@ -23,8 +23,8 @@ use spmm_hetsim::{PhaseBreakdown, PhaseTimes};
 use spmm_workqueue::{End, RangeQueue};
 
 use crate::context::HeteroContext;
-use crate::kernels::product_tuples;
-use crate::merge::merge_tuples;
+use crate::kernels::{row_products, RowBlock};
+use crate::merge::concat_row_blocks;
 use crate::result::SpmmOutput;
 
 /// Algorithm Unsorted-Workqueue: double-ended dynamic balancing over the
@@ -65,16 +65,24 @@ fn workqueue_over_order<T: Scalar>(
     units: WorkUnitConfig,
     order: Vec<usize>,
 ) -> SpmmOutput<T> {
-    assert_eq!(a.ncols(), b.nrows(), "A and B incompatible for multiplication");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "A and B incompatible for multiplication"
+    );
     ctx.reset();
-    let upload = if std::ptr::eq(a, b) { a.byte_size() } else { a.byte_size() + b.byte_size() };
+    let upload = if std::ptr::eq(a, b) {
+        a.byte_size()
+    } else {
+        a.byte_size() + b.byte_size()
+    };
     let transfer_ns = ctx.link.transfer_ns(upload);
 
     let queue = RangeQueue::new(order.len());
     let mut cpu_clock = 0.0f64;
     let mut gpu_clock = 0.0f64;
-    let mut cpu_tuples = Vec::new();
-    let mut gpu_tuples = Vec::new();
+    let mut cpu_blocks: Vec<RowBlock<T>> = Vec::new();
+    let mut gpu_blocks: Vec<RowBlock<T>> = Vec::new();
     loop {
         let cpu_turn = cpu_clock <= gpu_clock;
         let (end, grain) = if cpu_turn {
@@ -88,23 +96,24 @@ fn workqueue_over_order<T: Scalar>(
         let rows = &order[range];
         if cpu_turn {
             cpu_clock += ctx.cpu.spmm_cost(a, b, rows.iter().copied(), None);
-            cpu_tuples.extend(product_tuples(a, b, rows, None, &ctx.pool));
+            cpu_blocks.push(row_products(a, b, rows, None, &ctx.pool));
         } else {
             gpu_clock += ctx.gpu.spmm_cost(a, b, rows.iter().copied(), None);
-            gpu_tuples.extend(product_tuples(a, b, rows, None, &ctx.pool));
+            gpu_blocks.push(row_products(a, b, rows, None, &ctx.pool));
         }
     }
     let compute = PhaseTimes::new(cpu_clock, gpu_clock);
 
-    let transfer_ns = transfer_ns + ctx.link.transfer_ns(gpu_tuples.len() * 16);
-    let gpu_count = gpu_tuples.len();
-    cpu_tuples.extend(gpu_tuples);
-    let tuples_merged = cpu_tuples.len();
+    let gpu_count: usize = gpu_blocks.iter().map(RowBlock::nnz).sum();
+    let cpu_count: usize = cpu_blocks.iter().map(RowBlock::nnz).sum();
+    let transfer_ns = transfer_ns + ctx.link.transfer_ns(gpu_count * 16);
+    let tuples_merged = cpu_count + gpu_count;
     let merge = PhaseTimes::new(
         ctx.cpu.merge_cost(tuples_merged),
         ctx.gpu.merge_cost(gpu_count),
     );
-    let c = merge_tuples(cpu_tuples, (a.nrows(), b.ncols()), &ctx.pool);
+    cpu_blocks.append(&mut gpu_blocks);
+    let c = concat_row_blocks(&cpu_blocks, (a.nrows(), b.ncols()), &ctx.pool);
 
     SpmmOutput {
         c,

@@ -85,9 +85,10 @@ impl CpuDevice {
             }
             let mut row_ns = 0.0f64;
             // stream-read the A row once
-            row_ns += self
-                .hierarchy
-                .access_range(A_BASE + (a.indptr()[i] * ENTRY_BYTES) as u64, acols.len() * ENTRY_BYTES);
+            row_ns += self.hierarchy.access_range(
+                A_BASE + (a.indptr()[i] * ENTRY_BYTES) as u64,
+                acols.len() * ENTRY_BYTES,
+            );
             for &j in acols {
                 let j = j as usize;
                 if let Some(mask) = b_mask {
@@ -100,9 +101,10 @@ impl CpuDevice {
                     continue;
                 }
                 // stream-read the B row through the cache hierarchy
-                row_ns += self
-                    .hierarchy
-                    .access_range(B_BASE + (b_indptr[j] * ENTRY_BYTES) as u64, bnnz * ENTRY_BYTES);
+                row_ns += self.hierarchy.access_range(
+                    B_BASE + (b_indptr[j] * ENTRY_BYTES) as u64,
+                    bnnz * ENTRY_BYTES,
+                );
                 // multiply-add and emit one tuple per B entry
                 row_ns += bnnz as f64 * (self.spec.flop_ns + self.spec.tuple_write_ns);
             }
@@ -113,8 +115,7 @@ impl CpuDevice {
         // carrying a dense output row bounds the wall from below — the
         // intra-work-unit imbalance of §V-C ("it becomes difficult to make
         // effective load balancing techniques within a workunit").
-        let wall = (total / (self.spec.cores as f64 * self.spec.parallel_efficiency))
-            .max(max_row);
+        let wall = (total / (self.spec.cores as f64 * self.spec.parallel_efficiency)).max(max_row);
         wall * self.spec.kernel_overhead
     }
 
@@ -174,8 +175,7 @@ impl CpuDevice {
         let per_elem = self.spec.flop_ns + self.spec.tuple_write_ns + self.spec.blocked_elem_ns;
         let compute = flops * per_elem + probes * self.spec.blocked_probe_ns;
         let traffic = (b_bytes + a_bytes * ntiles) * self.spec.stream_ns_per_byte;
-        let wall = ((compute + traffic)
-            / (self.spec.cores as f64 * self.spec.parallel_efficiency))
+        let wall = ((compute + traffic) / (self.spec.cores as f64 * self.spec.parallel_efficiency))
             .max(max_row_flops * per_elem);
         wall * self.spec.kernel_overhead
     }
@@ -294,7 +294,7 @@ mod tests {
                 next += 1;
             }
             indices.extend(cols.iter());
-            values.extend(std::iter::repeat(1.0).take(k));
+            values.extend(std::iter::repeat_n(1.0, k));
             indptr.push(indices.len());
         }
         CsrMatrix::from_parts_unchecked(n, n, indptr, indices, values)
@@ -344,7 +344,10 @@ mod tests {
         let full = cpu.spmm_cost(&a, &a, 0..500, None);
         cpu.reset();
         let none = cpu.spmm_cost(&a, &a, 0..500, Some(&vec![false; 500]));
-        assert!(none < full * 0.5, "masked-out product should cost only A reads");
+        assert!(
+            none < full * 0.5,
+            "masked-out product should cost only A reads"
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ impl GpuDevice {
             line_size: SEGMENT_BYTES,
             assoc: 16,
         });
-        Self { spec, l2, stamp: Vec::new(), stamp_gen: 0 }
+        Self {
+            spec,
+            l2,
+            stamp: Vec::new(),
+            stamp_gen: 0,
+        }
     }
 
     /// The paper's Tesla K20c.
@@ -59,7 +64,12 @@ impl GpuDevice {
 
     /// GPU with an explicitly scaled L2 (for reduced-scale experiments).
     pub fn with_l2(spec: GpuSpec, l2: Cache) -> Self {
-        Self { spec, l2, stamp: Vec::new(), stamp_gen: 0 }
+        Self {
+            spec,
+            l2,
+            stamp: Vec::new(),
+            stamp_gen: 0,
+        }
     }
 
     pub fn spec(&self) -> &GpuSpec {
@@ -137,8 +147,10 @@ impl GpuDevice {
                     }
                 }
                 // B-row segment reads through the L2
-                row_cycles +=
-                    self.read_cycles(B_BASE + (b_indptr[j] * ENTRY_BYTES) as u64, bnnz * ENTRY_BYTES);
+                row_cycles += self.read_cycles(
+                    B_BASE + (b_indptr[j] * ENTRY_BYTES) as u64,
+                    bnnz * ENTRY_BYTES,
+                );
                 // SIMD lockstep: one step per warp-width chunk, whole chunks
                 // charged even when mostly idle lanes
                 let steps = bnnz.div_ceil(self.spec.warp_width) as f64;
@@ -208,8 +220,7 @@ impl GpuDevice {
                 acols.len() * ENTRY_BYTES,
             );
             for &j in acols {
-                row_cycles +=
-                    self.read_cycles(B_BASE + (j as usize * row_bytes) as u64, row_bytes);
+                row_cycles += self.read_cycles(B_BASE + (j as usize * row_bytes) as u64, row_bytes);
                 let steps = b_ncols.div_ceil(self.spec.warp_width) as f64;
                 // fused multiply-add plus a coalesced store per chunk
                 row_cycles += steps * (self.spec.simd_step_cycles + 1.0);
@@ -313,7 +324,7 @@ mod tests {
                 next += 1;
             }
             indices.extend(cols.iter());
-            values.extend(std::iter::repeat(1.0).take(k));
+            values.extend(std::iter::repeat_n(1.0, k));
             indptr.push(indices.len());
         }
         CsrMatrix::from_parts_unchecked(n, n, indptr, indices, values)
@@ -384,7 +395,11 @@ mod tests {
         let narrow_ns = gpu.spmm_cost(&narrow, &narrow, 0..1000, None);
         let wide_flops: u64 = (0..8)
             .map(|i| {
-                wide.row(i).0.iter().map(|&j| wide.row_nnz(j as usize) as u64).sum::<u64>()
+                wide.row(i)
+                    .0
+                    .iter()
+                    .map(|&j| wide.row_nnz(j as usize) as u64)
+                    .sum::<u64>()
             })
             .sum();
         let wide_flops = wide_flops as f64;
@@ -404,7 +419,10 @@ mod tests {
         assert!(large > small);
         // but it stays tiny relative to any spmm: the paper's Phase I is
         // under 4% of total (§V-B c)
-        assert!(large < 3e6, "mask of 10M rows should take ~ms, got {large} ns");
+        assert!(
+            large < 3e6,
+            "mask of 10M rows should take ~ms, got {large} ns"
+        );
     }
 
     #[test]

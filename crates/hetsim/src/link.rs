@@ -33,7 +33,10 @@ mod tests {
     use super::*;
 
     fn link() -> PciLink {
-        PciLink::new(LinkSpec { bandwidth_gbps: 2.0, latency_ns: 10_000.0 })
+        PciLink::new(LinkSpec {
+            bandwidth_gbps: 2.0,
+            latency_ns: 10_000.0,
+        })
     }
 
     #[test]

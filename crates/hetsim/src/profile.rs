@@ -3,7 +3,7 @@
 use crate::SimNs;
 
 /// Which device a time was charged to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceKind {
     Cpu,
     Gpu,
@@ -11,7 +11,7 @@ pub enum DeviceKind {
 
 /// CPU and GPU time spent in one phase. Phases run the devices in an
 /// overlapped fashion, so the phase's wall time is the max of the two.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimes {
     pub cpu_ns: SimNs,
     pub gpu_ns: SimNs,
@@ -38,7 +38,7 @@ impl PhaseTimes {
 /// Per-phase breakdown of one HH-CPU run (the paper's Figure 7 series),
 /// plus the CPU↔GPU transfer time (overlapped with Phase I/II in the
 /// implementation, reported separately here for analysis).
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseBreakdown {
     /// Phase I: threshold identification + Boolean row classification.
     pub phase1: PhaseTimes,

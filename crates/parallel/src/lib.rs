@@ -4,18 +4,21 @@
 //! (§II-B) and Phase IV needs a parallel sort + scan (§III-D). This crate
 //! provides the needed primitives without pulling in rayon: static and
 //! guided (self-scheduling) loops, an ordered parallel map, a parallel
-//! merge sort, and prefix scans. All of it is safe code over
-//! `std::thread::scope`.
+//! merge sort, prefix scans, and a disjoint-write slice. Everything is safe
+//! code over `std::thread::scope` except [`DisjointSlice`], which carries
+//! its disjointness obligation as an explicit `unsafe` contract.
 //!
 //! On a single-core host everything degrades gracefully to near-serial
 //! execution — the *simulated* parallelism of the paper's platform lives in
 //! `spmm-hetsim`, not here; these primitives only speed up wall-clock time
 //! on real multicore hosts.
 
+pub mod disjoint;
 pub mod pool;
 pub mod scan;
 pub mod sort;
 
+pub use disjoint::DisjointSlice;
 pub use pool::ThreadPool;
 pub use scan::{exclusive_scan, inclusive_scan};
 pub use sort::par_sort_by_key;

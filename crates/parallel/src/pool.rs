@@ -20,7 +20,9 @@ impl ThreadPool {
 
     /// Pool sized to the host's available parallelism.
     pub fn host() -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Self::new(n)
     }
 
@@ -89,6 +91,52 @@ impl ThreadPool {
                     }
                     let hi = (lo + chunk).min(len);
                     f(lo..hi);
+                });
+            }
+        });
+    }
+
+    /// [`ThreadPool::for_each_guided`] with per-thread scratch state: each
+    /// worker builds one `S` with `init` and hands `&mut S` to every chunk
+    /// it claims. The two-pass Gustavson engine needs this shape — a sparse
+    /// accumulator sized to `ncols` is far too expensive to build per row,
+    /// and cannot be shared across threads.
+    pub fn for_each_guided_with<S, I, F>(&self, len: usize, chunk: usize, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, std::ops::Range<usize>) + Sync,
+    {
+        assert!(chunk >= 1, "chunk must be >= 1");
+        if len == 0 {
+            return;
+        }
+        let t = self.num_threads.min(len.div_ceil(chunk));
+        if t == 1 {
+            let mut scratch = init();
+            let mut lo = 0;
+            while lo < len {
+                let hi = (lo + chunk).min(len);
+                f(&mut scratch, lo..hi);
+                lo = hi;
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..t {
+                let cursor = &cursor;
+                let init = &init;
+                let f = &f;
+                s.spawn(move || {
+                    let mut scratch = init();
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= len {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(len);
+                        f(&mut scratch, lo..hi);
+                    }
                 });
             }
         });

@@ -91,8 +91,7 @@ fn merge_into<T: Clone, K: Ord, F: Fn(&T) -> K>(a: &[T], b: &[T], out: &mut [T],
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use spmm_rng::{Rng, StdRng};
 
     #[test]
     fn sorts_small_inputs() {
@@ -118,8 +117,7 @@ mod tests {
         let pool = ThreadPool::new(4);
         // (key, original position); sort by key only, positions must stay
         // ordered within equal keys
-        let mut v: Vec<(u8, u32)> =
-            (0..50_000).map(|i| ((i % 4) as u8, i as u32)).collect();
+        let mut v: Vec<(u8, u32)> = (0..50_000).map(|i| ((i % 4) as u8, i as u32)).collect();
         par_sort_by_key(&mut v, &pool, |&(k, _)| k);
         for w in v.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -134,7 +132,13 @@ mod tests {
         let pool = ThreadPool::new(2);
         let mut rng = StdRng::seed_from_u64(9);
         let mut v: Vec<(u32, u32, f64)> = (0..20_000)
-            .map(|_| (rng.gen_range(0..100), rng.gen_range(0..100), rng.gen()))
+            .map(|_| {
+                (
+                    rng.gen_range(0u32..100),
+                    rng.gen_range(0u32..100),
+                    rng.gen_f64(),
+                )
+            })
             .collect();
         par_sort_by_key(&mut v, &pool, |&(r, c, _)| (r, c));
         assert!(v.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));

@@ -37,18 +37,78 @@ pub struct CatalogEntry {
 
 /// The 12 matrices of Table I, in the paper's order.
 pub const CATALOG: [CatalogEntry; 12] = [
-    CatalogEntry { name: "scircuit", rows: 170_998, nnz: 958_936, alpha: 3.55 },
-    CatalogEntry { name: "webbase-1M", rows: 1_000_005, nnz: 3_105_536, alpha: 2.1 },
-    CatalogEntry { name: "cop20kA", rows: 121_192, nnz: 2_624_331, alpha: 143.8 },
-    CatalogEntry { name: "web-Google", rows: 916_428, nnz: 5_105_039, alpha: 3.75 },
-    CatalogEntry { name: "p2p-Gnutella31", rows: 62_586, nnz: 147_892, alpha: 48.9 },
-    CatalogEntry { name: "ca-CondMat", rows: 23_133, nnz: 186_936, alpha: 3.58 },
-    CatalogEntry { name: "roadNet-CA", rows: 1_971_281, nnz: 5_533_214, alpha: 133.8 },
-    CatalogEntry { name: "internet", rows: 124_651, nnz: 207_214, alpha: 4.63 },
-    CatalogEntry { name: "dblp2010", rows: 326_186, nnz: 1_615_400, alpha: 5.79 },
-    CatalogEntry { name: "email-Enron", rows: 36_692, nnz: 367_662, alpha: 2.1 },
-    CatalogEntry { name: "wiki-Vote", rows: 8_297, nnz: 103_689, alpha: 3.88 },
-    CatalogEntry { name: "cit-Patents", rows: 3_774_768, nnz: 16_518_948, alpha: 3.9 },
+    CatalogEntry {
+        name: "scircuit",
+        rows: 170_998,
+        nnz: 958_936,
+        alpha: 3.55,
+    },
+    CatalogEntry {
+        name: "webbase-1M",
+        rows: 1_000_005,
+        nnz: 3_105_536,
+        alpha: 2.1,
+    },
+    CatalogEntry {
+        name: "cop20kA",
+        rows: 121_192,
+        nnz: 2_624_331,
+        alpha: 143.8,
+    },
+    CatalogEntry {
+        name: "web-Google",
+        rows: 916_428,
+        nnz: 5_105_039,
+        alpha: 3.75,
+    },
+    CatalogEntry {
+        name: "p2p-Gnutella31",
+        rows: 62_586,
+        nnz: 147_892,
+        alpha: 48.9,
+    },
+    CatalogEntry {
+        name: "ca-CondMat",
+        rows: 23_133,
+        nnz: 186_936,
+        alpha: 3.58,
+    },
+    CatalogEntry {
+        name: "roadNet-CA",
+        rows: 1_971_281,
+        nnz: 5_533_214,
+        alpha: 133.8,
+    },
+    CatalogEntry {
+        name: "internet",
+        rows: 124_651,
+        nnz: 207_214,
+        alpha: 4.63,
+    },
+    CatalogEntry {
+        name: "dblp2010",
+        rows: 326_186,
+        nnz: 1_615_400,
+        alpha: 5.79,
+    },
+    CatalogEntry {
+        name: "email-Enron",
+        rows: 36_692,
+        nnz: 367_662,
+        alpha: 2.1,
+    },
+    CatalogEntry {
+        name: "wiki-Vote",
+        rows: 8_297,
+        nnz: 103_689,
+        alpha: 3.88,
+    },
+    CatalogEntry {
+        name: "cit-Patents",
+        rows: 3_774_768,
+        nnz: 16_518_948,
+        alpha: 3.9,
+    },
 ];
 
 /// α above which a Table I matrix is treated as "not scale-free" and cloned
@@ -205,7 +265,11 @@ mod tests {
         let ds = Dataset::by_name("webbase-1M").unwrap();
         let m: CsrMatrix<f64> = ds.generate(16);
         let fit = fit_power_law(&m.row_sizes()).unwrap();
-        assert!(fit.alpha < 4.0, "webbase clone should look scale-free, α = {}", fit.alpha);
+        assert!(
+            fit.alpha < 4.0,
+            "webbase clone should look scale-free, α = {}",
+            fit.alpha
+        );
     }
 
     #[test]
@@ -213,7 +277,11 @@ mod tests {
         let ds = Dataset::by_name("roadNet-CA").unwrap();
         let m: CsrMatrix<f64> = ds.generate(64);
         let fit = fit_power_law(&m.row_sizes()).unwrap();
-        assert!(fit.alpha > 8.0, "roadNet clone should not look scale-free, α = {}", fit.alpha);
+        assert!(
+            fit.alpha > 8.0,
+            "roadNet clone should not look scale-free, α = {}",
+            fit.alpha
+        );
     }
 
     #[test]

@@ -12,9 +12,7 @@
 //! [`rmat`] provides the R-MAT recursive generator (also part of GTgraph)
 //! for graph-shaped workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use spmm_rng::{Rng, StdRng};
 use spmm_sparse::{ColIndex, CooMatrix, CsrMatrix, Scalar};
 
 use crate::powerlaw::PowerLawSampler;
@@ -34,7 +32,11 @@ pub enum RowSizeDistribution {
     /// starting at `hub_xmin_factor × mean` — the high-density rows the
     /// paper's Figure 5 shows for every scale-free matrix, which a pure
     /// power law with α ≳ 3.5 fails to produce at reduced row counts.
-    BulkAndHubs { alpha: f64, hub_fraction: f64, hub_xmin_factor: f64 },
+    BulkAndHubs {
+        alpha: f64,
+        hub_fraction: f64,
+        hub_xmin_factor: f64,
+    },
 }
 
 /// Configuration for [`scale_free_matrix`].
@@ -117,8 +119,7 @@ fn sample_row_sizes(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<usize> {
             // (≈ 2.7·√nnz). An uncapped truncated power law at reduced n
             // would otherwise produce rows holding several percent of all
             // nonzeros and a single warp-busting output row.
-            let cap = ((4.0 * (config.target_nnz as f64).sqrt()) as usize)
-                .clamp(8, config.ncols);
+            let cap = ((4.0 * (config.target_nnz as f64).sqrt()) as usize).clamp(8, config.ncols);
             let sampler = PowerLawSampler::new(alpha, 1, cap);
             sampler.sample_n(rng, config.nrows)
         }
@@ -131,15 +132,18 @@ fn sample_row_sizes(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<usize> {
                 })
                 .collect()
         }
-        RowSizeDistribution::BulkAndHubs { alpha, hub_fraction, hub_xmin_factor } => {
-            let cap = ((4.0 * (config.target_nnz as f64).sqrt()) as usize)
-                .clamp(8, config.ncols);
+        RowSizeDistribution::BulkAndHubs {
+            alpha,
+            hub_fraction,
+            hub_xmin_factor,
+        } => {
+            let cap = ((4.0 * (config.target_nnz as f64).sqrt()) as usize).clamp(8, config.ncols);
             let bulk = PowerLawSampler::new(alpha, 1, cap);
             let hub_xmin = ((mean * hub_xmin_factor) as usize).clamp(2, cap);
             let hubs = PowerLawSampler::new(alpha, hub_xmin, cap);
             (0..config.nrows)
                 .map(|_| {
-                    if rng.gen::<f64>() < hub_fraction {
+                    if rng.gen_f64() < hub_fraction {
                         hubs.sample(rng)
                     } else {
                         bulk.sample(rng)
@@ -175,12 +179,7 @@ fn rescale_to_budget(sizes: &mut [usize], target: usize, ncols: usize) {
 /// Reservoir-free distinct column sampling: rejection from a fresh set for
 /// sparse rows, Fisher–Yates over the full range when the row is dense
 /// relative to `ncols`.
-fn sample_distinct_columns(
-    size: usize,
-    ncols: usize,
-    rng: &mut StdRng,
-    out: &mut Vec<ColIndex>,
-) {
+fn sample_distinct_columns(size: usize, ncols: usize, rng: &mut StdRng, out: &mut Vec<ColIndex>) {
     out.clear();
     let size = size.min(ncols);
     if size * 3 >= ncols {
@@ -225,7 +224,7 @@ pub fn rmat<T: Scalar>(
         let (mut r, mut cidx) = (0usize, 0usize);
         let mut span = n / 2;
         while span >= 1 {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             if u < a {
                 // top-left
             } else if u < a + b {
@@ -240,7 +239,8 @@ pub fn rmat<T: Scalar>(
         }
         coo.push(r, cidx, T::ONE);
     }
-    coo.to_csr().expect("rmat coordinates are in range by construction")
+    coo.to_csr()
+        .expect("rmat coordinates are in range by construction")
 }
 
 #[cfg(test)]
@@ -264,7 +264,10 @@ mod tests {
         let m: CsrMatrix<f64> = scale_free_matrix(&cfg);
         for r in 0..m.nrows() {
             let (cols, _) = m.row(r);
-            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r} not sorted/unique");
+            assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "row {r} not sorted/unique"
+            );
         }
     }
 
@@ -288,7 +291,11 @@ mod tests {
         // sizes concentrated in a narrow band around the mean of 5
         assert!(h.max_row_size() <= 8);
         let fit = fit_power_law(&m.row_sizes()).unwrap();
-        assert!(fit.alpha > 6.0, "near-uniform should fit a huge alpha, got {}", fit.alpha);
+        assert!(
+            fit.alpha > 6.0,
+            "near-uniform should fit a huge alpha, got {}",
+            fit.alpha
+        );
     }
 
     #[test]

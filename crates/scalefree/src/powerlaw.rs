@@ -11,7 +11,7 @@
 //!    the tail `x ≥ x_min` and the fitted power-law CDF;
 //! 3. keep the `(x_min, α)` minimising the KS distance.
 
-use rand::Rng;
+use spmm_rng::Rng;
 
 /// Result of a power-law fit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,7 +85,12 @@ pub fn fit_power_law(data: &[usize]) -> Option<PowerLawFit> {
             (alpha, ks_distance(tail, xmin, alpha))
         };
         if best.is_none_or(|b| ks < b.ks) {
-            best = Some(PowerLawFit { alpha, xmin, ks, tail_n: n });
+            best = Some(PowerLawFit {
+                alpha,
+                xmin,
+                ks,
+                tail_n: n,
+            });
         }
     }
     best
@@ -110,7 +115,9 @@ fn ks_distance(sorted_tail: &[usize], xmin: usize, alpha: f64) -> f64 {
         let emp_lo = i as f64 / n;
         let emp_hi = j as f64 / n;
         let model = 1.0 - ((x as f64 + 0.5) / (xmin as f64 - 0.5)).powf(1.0 - alpha);
-        max_d = max_d.max((model - emp_lo).abs()).max((model - emp_hi).abs());
+        max_d = max_d
+            .max((model - emp_lo).abs())
+            .max((model - emp_hi).abs());
         i = j;
     }
     max_d
@@ -134,10 +141,17 @@ impl PowerLawSampler {
     /// Create a sampler. Panics if `alpha <= 1`, `xmin == 0`, or
     /// `xmax < xmin`.
     pub fn new(alpha: f64, xmin: usize, xmax: usize) -> Self {
-        assert!(alpha > 1.0, "power law exponent must exceed 1 (got {alpha})");
+        assert!(
+            alpha > 1.0,
+            "power law exponent must exceed 1 (got {alpha})"
+        );
         assert!(xmin >= 1, "xmin must be at least 1");
         assert!(xmax >= xmin, "xmax ({xmax}) must be >= xmin ({xmin})");
-        Self { alpha, xmin: xmin as f64, xmax }
+        Self {
+            alpha,
+            xmin: xmin as f64,
+            xmax,
+        }
     }
 
     /// Exponent α.
@@ -148,9 +162,8 @@ impl PowerLawSampler {
     /// Draw one sample.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         loop {
-            let u: f64 = rng.gen::<f64>();
-            let x = ((self.xmin - 0.5) * (1.0 - u).powf(-1.0 / (self.alpha - 1.0)) + 0.5)
-                .floor();
+            let u: f64 = rng.gen_f64();
+            let x = ((self.xmin - 0.5) * (1.0 - u).powf(-1.0 / (self.alpha - 1.0)) + 0.5).floor();
             // Guard NaN/inf from u extremely close to 1.
             if x.is_finite() {
                 let xi = x as usize;
@@ -187,8 +200,7 @@ impl PowerLawSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use spmm_rng::StdRng;
 
     #[test]
     fn sampler_respects_bounds() {
@@ -250,7 +262,7 @@ mod tests {
         let s = PowerLawSampler::new(2.5, 1, 100_000);
         let mut xs = s.sample_n(&mut rng, 50_000);
         let clean_fit = fit_power_law(&xs).unwrap();
-        xs.extend(std::iter::repeat(0).take(10_000));
+        xs.extend(std::iter::repeat_n(0, 10_000));
         let zero_fit = fit_power_law(&xs).unwrap();
         assert!((clean_fit.alpha - zero_fit.alpha).abs() < 1e-9);
     }

@@ -8,9 +8,7 @@
 //! cit-Patents 3.90). Complements the configuration-model generator, which
 //! dials α freely but has no growth story.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use spmm_rng::{Rng, StdRng};
 use spmm_sparse::{CooMatrix, CsrMatrix, Scalar};
 
 /// Generate the adjacency matrix of a Barabási–Albert graph with `n`

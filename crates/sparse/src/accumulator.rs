@@ -1,0 +1,228 @@
+//! Sparse accumulators for Gustavson-style row products.
+//!
+//! The row-row formulation (§II-A) computes one output row as a sum of
+//! scaled B rows. The classic way to do that without materialising and
+//! sorting intermediate tuples is Gustavson's SPA: a dense value array
+//! indexed by column, a generation stamp per column marking which output
+//! row last touched it, and a list of touched columns. Clearing between
+//! rows is O(touched), not O(ncols), so one accumulator amortises across
+//! every row a thread processes.
+//!
+//! Two variants live here: [`SparseAccumulator`] for the numeric pass and
+//! [`RowSizer`] for the symbolic pass, which only needs distinct-column
+//! counts and therefore skips the value array entirely.
+
+use crate::{ColIndex, Scalar};
+
+/// Gustavson sparse accumulator: scatter `(col, val)` contributions for one
+/// output row, then drain them in column order. Reusable across rows; build
+/// one per thread, sized to the output's column count.
+#[derive(Debug, Clone)]
+pub struct SparseAccumulator<T> {
+    values: Vec<T>,
+    stamp: Vec<u32>,
+    generation: u32,
+    touched: Vec<ColIndex>,
+}
+
+impl<T: Scalar> SparseAccumulator<T> {
+    /// Accumulator for output rows with `ncols` columns.
+    pub fn new(ncols: usize) -> Self {
+        Self {
+            values: vec![T::ZERO; ncols],
+            stamp: vec![0; ncols],
+            generation: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of columns this accumulator covers.
+    pub fn ncols(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Add `val` to the current row's column `col`. Returns `true` when
+    /// this is the first contribution to that column for this row.
+    #[inline]
+    pub fn scatter(&mut self, col: ColIndex, val: T) -> bool {
+        let c = col as usize;
+        if self.stamp[c] == self.generation {
+            self.values[c] += val;
+            false
+        } else {
+            self.stamp[c] = self.generation;
+            self.values[c] = val;
+            self.touched.push(col);
+            true
+        }
+    }
+
+    /// Distinct columns touched so far in the current row.
+    pub fn nnz(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Drain the current row in ascending column order, invoking
+    /// `f(col, value)` per entry, and reset for the next row.
+    pub fn drain_sorted<F: FnMut(ColIndex, T)>(&mut self, mut f: F) {
+        self.touched.sort_unstable();
+        for &col in &self.touched {
+            f(col, self.values[col as usize]);
+        }
+        self.touched.clear();
+        self.advance_generation();
+    }
+
+    fn advance_generation(&mut self) {
+        if self.generation == u32::MAX {
+            // wrap: forget every stamp so stale marks can't alias
+            self.stamp.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+}
+
+/// Symbolic-pass companion of [`SparseAccumulator`]: counts the distinct
+/// columns of one output row without storing values. This is the first
+/// pass of the two-pass engine — its counts size each CSR row exactly, so
+/// the numeric pass writes into pre-offset storage with no reallocation.
+#[derive(Debug, Clone)]
+pub struct RowSizer {
+    stamp: Vec<u32>,
+    generation: u32,
+    count: usize,
+}
+
+impl RowSizer {
+    /// Sizer for output rows with `ncols` columns.
+    pub fn new(ncols: usize) -> Self {
+        Self {
+            stamp: vec![0; ncols],
+            generation: 1,
+            count: 0,
+        }
+    }
+
+    /// Number of columns this sizer covers.
+    pub fn ncols(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Mark column `col` as present in the current row. Returns `true` on
+    /// the first mark for this row.
+    #[inline]
+    pub fn mark(&mut self, col: ColIndex) -> bool {
+        let c = col as usize;
+        if self.stamp[c] == self.generation {
+            false
+        } else {
+            self.stamp[c] = self.generation;
+            self.count += 1;
+            true
+        }
+    }
+
+    /// Distinct columns marked so far in the current row.
+    pub fn nnz(&self) -> usize {
+        self.count
+    }
+
+    /// Finish the current row: return its distinct-column count and reset
+    /// for the next row.
+    pub fn finish_row(&mut self) -> usize {
+        let n = self.count;
+        self.count = 0;
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_accumulates_duplicates() {
+        let mut spa = SparseAccumulator::<f64>::new(8);
+        assert!(spa.scatter(3, 1.0));
+        assert!(spa.scatter(5, 2.0));
+        assert!(!spa.scatter(3, 4.0));
+        assert_eq!(spa.nnz(), 2);
+        let mut out = Vec::new();
+        spa.drain_sorted(|c, v| out.push((c, v)));
+        assert_eq!(out, vec![(3, 5.0), (5, 2.0)]);
+    }
+
+    #[test]
+    fn drain_resets_for_the_next_row() {
+        let mut spa = SparseAccumulator::<f64>::new(4);
+        spa.scatter(1, 1.0);
+        spa.drain_sorted(|_, _| {});
+        // same column again: must be a fresh first-touch with a fresh value
+        assert!(spa.scatter(1, 7.0));
+        let mut out = Vec::new();
+        spa.drain_sorted(|c, v| out.push((c, v)));
+        assert_eq!(out, vec![(1, 7.0)]);
+    }
+
+    #[test]
+    fn drain_emits_sorted_columns() {
+        let mut spa = SparseAccumulator::<f64>::new(100);
+        for &c in &[90u32, 5, 40, 17, 3] {
+            spa.scatter(c, 1.0);
+        }
+        let mut cols = Vec::new();
+        spa.drain_sorted(|c, _| cols.push(c));
+        assert_eq!(cols, vec![3, 5, 17, 40, 90]);
+    }
+
+    #[test]
+    fn sizer_counts_distinct_columns() {
+        let mut sizer = RowSizer::new(10);
+        for &c in &[1u32, 4, 1, 9, 4, 4] {
+            sizer.mark(c);
+        }
+        assert_eq!(sizer.nnz(), 3);
+        assert_eq!(sizer.finish_row(), 3);
+        // next row starts clean
+        assert!(sizer.mark(1));
+        assert_eq!(sizer.finish_row(), 1);
+    }
+
+    #[test]
+    fn generation_wrap_is_sound() {
+        let mut spa = SparseAccumulator::<f64>::new(4);
+        spa.generation = u32::MAX - 1;
+        spa.scatter(2, 1.0);
+        spa.drain_sorted(|_, _| {});
+        spa.scatter(2, 2.0);
+        let mut out = Vec::new();
+        spa.drain_sorted(|c, v| out.push((c, v)));
+        assert_eq!(out, vec![(2, 2.0)]);
+        // now past the wrap: stale stamps must not alias
+        assert!(spa.scatter(2, 3.0));
+        let mut out = Vec::new();
+        spa.drain_sorted(|c, v| out.push((c, v)));
+        assert_eq!(out, vec![(2, 3.0)]);
+
+        let mut sizer = RowSizer::new(4);
+        sizer.generation = u32::MAX;
+        sizer.mark(0);
+        assert_eq!(sizer.finish_row(), 1);
+        assert!(sizer.mark(0), "stamp from before the wrap must not alias");
+    }
+
+    #[test]
+    fn empty_row_drains_nothing() {
+        let mut spa = SparseAccumulator::<f64>::new(4);
+        spa.drain_sorted(|_, _| panic!("no entries expected"));
+        assert_eq!(spa.nnz(), 0);
+    }
+}

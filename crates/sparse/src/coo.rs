@@ -16,7 +16,11 @@ pub struct Triplet<T> {
 impl<T> Triplet<T> {
     #[inline]
     pub fn new(row: usize, col: usize, val: T) -> Self {
-        Self { row: row as ColIndex, col: col as ColIndex, val }
+        Self {
+            row: row as ColIndex,
+            col: col as ColIndex,
+            val,
+        }
     }
 
     /// Lexicographic `(row, col)` key used by the Phase IV merge sort.
@@ -39,12 +43,20 @@ pub struct CooMatrix<T> {
 impl<T: Scalar> CooMatrix<T> {
     /// Empty triplet collection with the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, entries: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Empty collection with `cap` entries preallocated.
     pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
-        Self { nrows, ncols, entries: Vec::with_capacity(cap) }
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Append an entry. Panics (debug) on out-of-bounds coordinates.
@@ -63,7 +75,11 @@ impl<T: Scalar> CooMatrix<T> {
 
     /// Append all triplets from another collection (shapes must match).
     pub fn append(&mut self, other: &CooMatrix<T>) {
-        assert_eq!(self.shape(), other.shape(), "appending COO of different shape");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "appending COO of different shape"
+        );
         self.entries.extend_from_slice(&other.entries);
     }
 
@@ -116,7 +132,10 @@ impl<T: Scalar> CooMatrix<T> {
     pub fn to_csr(&self) -> Result<CsrMatrix<T>, SparseError> {
         for t in &self.entries {
             if t.row as usize >= self.nrows {
-                return Err(SparseError::RowOutOfBounds { row: t.row as usize, nrows: self.nrows });
+                return Err(SparseError::RowOutOfBounds {
+                    row: t.row as usize,
+                    nrows: self.nrows,
+                });
             }
             if t.col as usize >= self.ncols {
                 return Err(SparseError::ColumnOutOfBounds {
@@ -148,7 +167,9 @@ impl<T: Scalar> CooMatrix<T> {
         for i in 0..self.nrows {
             indptr[i + 1] += indptr[i];
         }
-        Ok(CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, indices, values))
+        Ok(CsrMatrix::from_parts_unchecked(
+            self.nrows, self.ncols, indptr, indices, values,
+        ))
     }
 }
 
@@ -185,8 +206,15 @@ mod tests {
     #[test]
     fn out_of_bounds_rejected() {
         let mut coo = CooMatrix::with_capacity(1, 1, 1);
-        coo.entries.push(Triplet { row: 5, col: 0, val: 1.0 });
-        assert!(matches!(coo.to_csr(), Err(SparseError::RowOutOfBounds { .. })));
+        coo.entries.push(Triplet {
+            row: 5,
+            col: 0,
+            val: 1.0,
+        });
+        assert!(matches!(
+            coo.to_csr(),
+            Err(SparseError::RowOutOfBounds { .. })
+        ));
     }
 
     #[test]

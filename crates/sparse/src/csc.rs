@@ -30,7 +30,13 @@ impl<T: Scalar> CscMatrix<T> {
     ) -> Self {
         debug_assert_eq!(indptr.len(), ncols + 1);
         debug_assert_eq!(indices.len(), values.len());
-        Self { nrows, ncols, indptr, indices, values }
+        Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     #[inline]

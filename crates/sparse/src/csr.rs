@@ -13,7 +13,6 @@ use crate::{coo::CooMatrix, csc::CscMatrix, dense::DenseMatrix, ColIndex, Scalar
 /// computing `C(i,:)` walks `A`'s row `i` and, for each nonzero column `j`,
 /// walks `B`'s row `j`.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CsrMatrix<T> {
     nrows: usize,
     ncols: usize,
@@ -78,7 +77,13 @@ impl<T: Scalar> CsrMatrix<T> {
                 }
             }
         }
-        Ok(Self { nrows, ncols, indptr, indices, values })
+        Ok(Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Build from raw parts without validation.
@@ -96,7 +101,13 @@ impl<T: Scalar> CsrMatrix<T> {
     ) -> Self {
         debug_assert_eq!(indptr.len(), nrows + 1);
         debug_assert_eq!(indices.len(), values.len());
-        Self { nrows, ncols, indptr, indices, values }
+        Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// The `nrows x ncols` matrix with no stored entries.
@@ -181,7 +192,9 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.nrows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -507,8 +520,8 @@ mod tests {
 
     #[test]
     fn prune_zeros_removes_explicit_zeros() {
-        let a = CsrMatrix::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![0.0, 2.0, 0.0])
-            .unwrap();
+        let a =
+            CsrMatrix::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![0.0, 2.0, 0.0]).unwrap();
         let p = a.prune_zeros();
         assert_eq!(p.nnz(), 1);
         assert_eq!(p.get(0, 1), 2.0);

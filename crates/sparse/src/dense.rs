@@ -14,7 +14,11 @@ pub struct DenseMatrix<T> {
 impl<T: Scalar> DenseMatrix<T> {
     /// All-zero matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, data: vec![T::ZERO; nrows * ncols] }
+        Self {
+            nrows,
+            ncols,
+            data: vec![T::ZERO; nrows * ncols],
+        }
     }
 
     /// Build from a row-major data vector. Panics if the length is not

@@ -38,7 +38,13 @@ impl<T: Scalar> EllMatrix<T> {
                 values[k * a.nrows() + r] = v;
             }
         }
-        Self { nrows: a.nrows(), ncols: a.ncols(), width, indices, values }
+        Self {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            width,
+            indices,
+            values,
+        }
     }
 
     #[inline]

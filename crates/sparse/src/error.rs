@@ -6,7 +6,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SparseError {
     /// A column index is out of bounds for the declared shape.
-    ColumnOutOfBounds { row: usize, col: usize, ncols: usize },
+    ColumnOutOfBounds {
+        row: usize,
+        col: usize,
+        ncols: usize,
+    },
     /// A row index is out of bounds for the declared shape.
     RowOutOfBounds { row: usize, nrows: usize },
     /// The row-pointer array is malformed (wrong length, non-monotone, or
@@ -16,7 +20,10 @@ pub enum SparseError {
     LengthMismatch { indices: usize, values: usize },
     /// Shapes incompatible for the requested operation (e.g. `A * B` with
     /// `A.ncols != B.nrows`).
-    ShapeMismatch { left: (usize, usize), right: (usize, usize) },
+    ShapeMismatch {
+        left: (usize, usize),
+        right: (usize, usize),
+    },
     /// Matrix Market parsing failure with line number context.
     Parse { line: usize, msg: String },
     /// Underlying I/O failure.
@@ -27,14 +34,20 @@ impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SparseError::ColumnOutOfBounds { row, col, ncols } => {
-                write!(f, "column {col} out of bounds in row {row} (ncols = {ncols})")
+                write!(
+                    f,
+                    "column {col} out of bounds in row {row} (ncols = {ncols})"
+                )
             }
             SparseError::RowOutOfBounds { row, nrows } => {
                 write!(f, "row {row} out of bounds (nrows = {nrows})")
             }
             SparseError::MalformedIndptr(msg) => write!(f, "malformed indptr: {msg}"),
             SparseError::LengthMismatch { indices, values } => {
-                write!(f, "indices ({indices}) and values ({values}) lengths differ")
+                write!(
+                    f,
+                    "indices ({indices}) and values ({values}) lengths differ"
+                )
             }
             SparseError::ShapeMismatch { left, right } => {
                 write!(
@@ -63,11 +76,18 @@ mod tests {
 
     #[test]
     fn display_mentions_context() {
-        let e = SparseError::ColumnOutOfBounds { row: 3, col: 9, ncols: 5 };
+        let e = SparseError::ColumnOutOfBounds {
+            row: 3,
+            col: 9,
+            ncols: 5,
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('9') && s.contains('5'));
 
-        let e = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5) };
+        let e = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
         assert!(e.to_string().contains("2x3"));
     }
 

@@ -148,7 +148,7 @@ mod tests {
     fn basic_counts() {
         let h = hist(&[0, 1, 1, 3, 5, 5, 5]);
         assert_eq!(h.nrows(), 7);
-        assert_eq!(h.nnz(), 0 + 1 + 1 + 3 + 5 + 5 + 5);
+        assert_eq!(h.nnz(), 1 + 1 + 3 + 5 + 5 + 5);
         assert_eq!(h.counts()[0], 1);
         assert_eq!(h.counts()[1], 2);
         assert_eq!(h.counts()[5], 3);
@@ -188,14 +188,9 @@ mod tests {
 
     #[test]
     fn from_matrix_agrees_with_row_sizes() {
-        let m = CsrMatrix::<f64>::try_new(
-            3,
-            3,
-            vec![0, 2, 2, 3],
-            vec![0, 1, 2],
-            vec![1.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::<f64>::try_new(3, 3, vec![0, 2, 2, 3], vec![0, 1, 2], vec![1.0, 1.0, 1.0])
+                .unwrap();
         let h = RowHistogram::from_matrix(&m);
         assert_eq!(h.counts()[0], 1);
         assert_eq!(h.counts()[1], 1);
@@ -216,6 +211,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "length must equal")]
     fn length_mismatch_panics() {
-        RowHistogram::from_row_sizes(3, [1usize, 2].into_iter());
+        RowHistogram::from_row_sizes(3, [1usize, 2]);
     }
 }

@@ -48,7 +48,10 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
                 }
             }
             None => {
-                return Err(SparseError::Parse { line: 0, msg: "empty file".into() });
+                return Err(SparseError::Parse {
+                    line: 0,
+                    msg: "empty file".into(),
+                });
             }
         }
     };
@@ -98,7 +101,10 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
                 }
             }
             None => {
-                return Err(SparseError::Parse { line: 0, msg: "missing size line".into() });
+                return Err(SparseError::Parse {
+                    line: 0,
+                    msg: "missing size line".into(),
+                });
             }
         }
     };
@@ -106,7 +112,10 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
         .split_whitespace()
         .map(|s| s.parse::<usize>())
         .collect::<Result<_, _>>()
-        .map_err(|e| SparseError::Parse { line: lineno, msg: e.to_string() })?;
+        .map_err(|e| SparseError::Parse {
+            line: lineno,
+            msg: e.to_string(),
+        })?;
     if dims.len() != 3 {
         return Err(SparseError::Parse {
             line: lineno,
@@ -126,9 +135,15 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
         }
         let mut it = t.split_whitespace();
         let parse_idx = |s: Option<&str>, what: &str| -> Result<usize, SparseError> {
-            s.ok_or_else(|| SparseError::Parse { line: n + 1, msg: format!("missing {what}") })?
-                .parse::<usize>()
-                .map_err(|e| SparseError::Parse { line: n + 1, msg: e.to_string() })
+            s.ok_or_else(|| SparseError::Parse {
+                line: n + 1,
+                msg: format!("missing {what}"),
+            })?
+            .parse::<usize>()
+            .map_err(|e| SparseError::Parse {
+                line: n + 1,
+                msg: e.to_string(),
+            })
         };
         let r = parse_idx(it.next(), "row")?;
         let c = parse_idx(it.next(), "col")?;
@@ -145,12 +160,12 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
                     line: n + 1,
                     msg: "missing value".into(),
                 })?;
-                let f: f64 = s
-                    .parse()
-                    .map_err(|e: std::num::ParseFloatError| SparseError::Parse {
-                        line: n + 1,
-                        msg: e.to_string(),
-                    })?;
+                let f: f64 =
+                    s.parse()
+                        .map_err(|e: std::num::ParseFloatError| SparseError::Parse {
+                            line: n + 1,
+                            msg: e.to_string(),
+                        })?;
                 T::from_f64(f)
             }
         };
@@ -176,7 +191,13 @@ pub fn write_matrix_market<T: Scalar, W: Write>(
 ) -> Result<(), SparseError> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(writer, "% generated by hetero-spmm")?;
-    writeln!(writer, "{} {} {}", matrix.nrows(), matrix.ncols(), matrix.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.nrows(),
+        matrix.ncols(),
+        matrix.nnz()
+    )?;
     for (r, c, v) in matrix.iter() {
         writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
     }

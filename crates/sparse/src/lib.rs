@@ -14,10 +14,12 @@
 //!   (sparse × dense) extension sketched in the paper's conclusion.
 //!
 //! plus Matrix Market I/O ([`io`]), row-size histograms ([`histogram`] — the
-//! raw material of the paper's Figures 1 and 5), and serial reference
-//! kernels ([`reference`]) every parallel/heterogeneous algorithm is tested
-//! against.
+//! raw material of the paper's Figures 1 and 5), serial reference kernels
+//! ([`reference`]) every parallel/heterogeneous algorithm is tested
+//! against, and the Gustavson sparse accumulators ([`accumulator`]) behind
+//! the host-side two-pass numeric engine.
 
+pub mod accumulator;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -30,6 +32,7 @@ pub mod ops;
 pub mod reference;
 pub mod scalar;
 
+pub use accumulator::{RowSizer, SparseAccumulator};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;

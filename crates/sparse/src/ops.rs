@@ -18,7 +18,10 @@ pub fn add<T: Scalar>(
     b: &CsrMatrix<T>,
 ) -> Result<CsrMatrix<T>, SparseError> {
     if a.shape() != b.shape() {
-        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape() });
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
     }
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     let mut indices: Vec<ColIndex> = Vec::with_capacity(a.nnz() + b.nnz());
@@ -52,7 +55,13 @@ pub fn add<T: Scalar>(
         }
         indptr.push(indices.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        indptr,
+        indices,
+        values,
+    ))
 }
 
 /// Element-wise (Hadamard) product `A ∘ B`: entries present in both.
@@ -61,7 +70,10 @@ pub fn hadamard<T: Scalar>(
     b: &CsrMatrix<T>,
 ) -> Result<CsrMatrix<T>, SparseError> {
     if a.shape() != b.shape() {
-        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape() });
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
     }
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     let mut indices: Vec<ColIndex> = Vec::new();
@@ -85,7 +97,13 @@ pub fn hadamard<T: Scalar>(
         }
         indptr.push(indices.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        indptr,
+        indices,
+        values,
+    ))
 }
 
 /// Scale every stored value by `alpha`.
@@ -165,7 +183,13 @@ pub fn permute_symmetric<T: Scalar>(
         }
         indptr.push(indices.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        indptr,
+        indices,
+        values,
+    ))
 }
 
 /// Sum of all stored values (e.g. total path count of a squared adjacency
@@ -234,8 +258,7 @@ mod tests {
     #[test]
     fn hadamard_intersects() {
         let a = small();
-        let mask = CsrMatrix::try_new(3, 3, vec![0, 1, 1, 2], vec![2, 2], vec![1.0, 1.0])
-            .unwrap();
+        let mask = CsrMatrix::try_new(3, 3, vec![0, 1, 1, 2], vec![2, 2], vec![1.0, 1.0]).unwrap();
         let h = hadamard(&a, &mask).unwrap();
         assert_eq!(h.nnz(), 2);
         assert_eq!(h.get(0, 2), 2.0);

@@ -12,7 +12,10 @@ use crate::{ColIndex, CooMatrix, CsrMatrix, DenseMatrix, Scalar, SparseError};
 /// Check multiplication compatibility.
 fn check_shapes<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<(), SparseError> {
     if a.ncols() != b.nrows() {
-        Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape() })
+        Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        })
     } else {
         Ok(())
     }
@@ -62,7 +65,13 @@ pub fn spmm_rowrow<T: Scalar>(
         }
         indptr.push(indices.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(a.nrows(), b.ncols(), indptr, indices, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        b.ncols(),
+        indptr,
+        indices,
+        values,
+    ))
 }
 
 /// Row-row spmm emitting raw `⟨r, c, v⟩` tuples *without* per-row
@@ -155,7 +164,10 @@ pub fn csrmm<T: Scalar>(
     b: &DenseMatrix<T>,
 ) -> Result<DenseMatrix<T>, SparseError> {
     if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape() });
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
     }
     let mut out = DenseMatrix::zeros(a.nrows(), b.ncols());
     for i in 0..a.nrows() {

@@ -24,7 +24,10 @@ impl<T> DoubleEndedWorkQueue<T> {
     pub fn new(items: Vec<T>) -> Self {
         assert!(items.len() < u32::MAX as usize, "too many work units");
         let back = items.len() as u64;
-        Self { items, state: AtomicU64::new(back) }
+        Self {
+            items,
+            state: AtomicU64::new(back),
+        }
     }
 
     /// Total items the queue was created with.
@@ -59,12 +62,10 @@ impl<T> DoubleEndedWorkQueue<T> {
                 End::Front => (front, pack(front + 1, back)),
                 End::Back => (back - 1, pack(front, back - 1)),
             };
-            match self.state.compare_exchange_weak(
-                s,
-                next,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .state
+                .compare_exchange_weak(s, next, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return Some((idx as usize, &self.items[idx as usize])),
                 Err(cur) => s = cur,
             }
@@ -159,7 +160,11 @@ mod tests {
                 });
             }
         });
-        assert_eq!(seen.lock().unwrap().len(), N, "every item claimed exactly once");
+        assert_eq!(
+            seen.lock().unwrap().len(),
+            N,
+            "every item claimed exactly once"
+        );
         assert_eq!(q.remaining(), 0);
     }
 

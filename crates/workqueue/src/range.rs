@@ -23,7 +23,10 @@ impl RangeQueue {
     /// Queue over `0..n` rows.
     pub fn new(n: usize) -> Self {
         assert!(n < u32::MAX as usize, "row count exceeds cursor packing");
-        Self { n: n as u64, state: AtomicU64::new(n as u64) }
+        Self {
+            n: n as u64,
+            state: AtomicU64::new(n as u64),
+        }
     }
 
     /// Total rows.
@@ -58,12 +61,10 @@ impl RangeQueue {
                 End::Front => ((front..front + take), pack(front + take, back)),
                 End::Back => ((back - take..back), pack(front, back - take)),
             };
-            match self.state.compare_exchange_weak(
-                s,
-                next,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .state
+                .compare_exchange_weak(s, next, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return Some(range.start as usize..range.end as usize),
                 Err(cur) => s = cur,
             }
@@ -132,7 +133,11 @@ mod tests {
                 let q = &q;
                 let claimed = &claimed;
                 s.spawn(move || {
-                    let (end, grain) = if t % 2 == 0 { (End::Front, 997) } else { (End::Back, 3_001) };
+                    let (end, grain) = if t % 2 == 0 {
+                        (End::Front, 997)
+                    } else {
+                        (End::Back, 3_001)
+                    };
                     let mut local = Vec::new();
                     while let Some(r) = q.claim(end, grain) {
                         local.push(r);
@@ -145,7 +150,10 @@ mod tests {
         ranges.sort_by_key(|r| r.start);
         let mut expected_start = 0;
         for r in &ranges {
-            assert_eq!(r.start, expected_start, "gap or overlap at {expected_start}");
+            assert_eq!(
+                r.start, expected_start,
+                "gap or overlap at {expected_start}"
+            );
             expected_start = r.end;
         }
         assert_eq!(expected_start, N);

@@ -50,9 +50,18 @@ fn main() {
         graph.nrows() - hh.hd_rows
     );
     println!("\ncompute-phase walls (overlap excluded transfers):");
-    println!("  heterogeneous: {:>9.3} ms", hh.profile.phase2.wall() / 1e6);
-    println!("  CPU-only:      {:>9.3} ms", cpu.profile.phase2.wall() / 1e6);
-    println!("  GPU-only:      {:>9.3} ms", gpu.profile.phase2.wall() / 1e6);
+    println!(
+        "  heterogeneous: {:>9.3} ms",
+        hh.profile.phase2.wall() / 1e6
+    );
+    println!(
+        "  CPU-only:      {:>9.3} ms",
+        cpu.profile.phase2.wall() / 1e6
+    );
+    println!(
+        "  GPU-only:      {:>9.3} ms",
+        gpu.profile.phase2.wall() / 1e6
+    );
     println!("\nend-to-end (with PCIe transfers):");
     println!("  heterogeneous: {:>9.3} ms", hh.total_ns() / 1e6);
     println!("  CPU-only:      {:>9.3} ms", cpu.total_ns() / 1e6);

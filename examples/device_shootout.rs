@@ -9,8 +9,18 @@
 //! ```text
 //! cargo run --release --example device_shootout
 //! ```
+//!
+//! Doubles as the CI smoke-perf probe: after the per-flop table it times
+//! the host-side two-pass Gustavson engine against the legacy
+//! tuple-sort path on a small synthetic matrix and writes the wall-clock
+//! numbers to `BENCH_pr.json` (override the path with `BENCH_JSON`).
 
+use std::time::Instant;
+
+use hetero_spmm::core::kernels::{product_tuples, row_products};
+use hetero_spmm::core::merge::{concat_row_blocks, merge_tuples};
 use hetero_spmm::hetsim::{CpuDevice, GpuDevice};
+use hetero_spmm::parallel::ThreadPool;
 use hetero_spmm::prelude::*;
 
 fn run(name: &str, a: &CsrMatrix<f64>, cpu: &mut CpuDevice, gpu: &mut GpuDevice) {
@@ -60,13 +70,78 @@ fn main() {
     run("sparse x sparse (A_L·B_L)", &sparse, &mut cpu, &mut gpu);
 
     // Mixed scale-free: what each device sees without the HH-CPU split.
-    let mixed = scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(
-        30_000, 150_000, 2.1, 3,
-    ));
+    let mixed =
+        scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(30_000, 150_000, 2.1, 3));
     run("mixed scale-free (no split)", &mixed, &mut cpu, &mut gpu);
 
     println!(
         "\nthe split exists because each device is fastest on a different shape —\n\
          assigning the \"right\" work to the \"right\" processor is the paper's thesis."
     );
+
+    smoke_perf();
+}
+
+/// Time the two host numeric backends on one small scale-free product and
+/// record the result for the CI artifact.
+fn smoke_perf() {
+    let a = scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(4_000, 40_000, 2.1, 7));
+    let pool = ThreadPool::new(4);
+    let rows: Vec<usize> = (0..a.nrows()).collect();
+    let reps = 5;
+
+    // warm-up + correctness cross-check before timing anything
+    let via_engine = {
+        let block = row_products(&a, &a, &rows, None, &pool);
+        concat_row_blocks(&[block], (a.nrows(), a.ncols()), &pool)
+    };
+    let via_tuples = merge_tuples(
+        product_tuples(&a, &a, &rows, None, &pool),
+        (a.nrows(), a.ncols()),
+        &pool,
+    );
+    assert!(
+        via_engine.approx_eq(&via_tuples, 1e-9, 1e-12),
+        "smoke-perf backends disagree"
+    );
+
+    let mut engine_ms = f64::INFINITY;
+    let mut tuple_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let block = row_products(&a, &a, &rows, None, &pool);
+        let c = concat_row_blocks(&[block], (a.nrows(), a.ncols()), &pool);
+        engine_ms = engine_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(c);
+
+        let t = Instant::now();
+        let tuples = product_tuples(&a, &a, &rows, None, &pool);
+        let c = merge_tuples(tuples, (a.nrows(), a.ncols()), &pool);
+        tuple_ms = tuple_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(c);
+    }
+
+    println!(
+        "\nsmoke-perf (n={}, nnz={}, nnz(C)={}, best of {reps}):\n\
+         two-pass engine {engine_ms:.2} ms | tuple sort {tuple_ms:.2} ms | ratio {:.2}x",
+        a.nrows(),
+        a.nnz(),
+        via_engine.nnz(),
+        tuple_ms / engine_ms,
+    );
+
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_pr.json".into());
+    let json = format!(
+        "{{\n  \"matrix\": {{\"nrows\": {}, \"nnz\": {}, \"output_nnz\": {}}},\n  \
+         \"repetitions\": {reps},\n  \
+         \"engine_ms\": {engine_ms:.4},\n  \
+         \"tuple_path_ms\": {tuple_ms:.4},\n  \
+         \"speedup\": {:.4}\n}}\n",
+        a.nrows(),
+        a.nnz(),
+        via_engine.nnz(),
+        tuple_ms / engine_ms,
+    );
+    std::fs::write(&path, json).expect("write smoke-perf artifact");
+    println!("wrote {path}");
 }

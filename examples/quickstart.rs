@@ -32,7 +32,10 @@ fn main() {
     // overlapped phase II, workqueue-balanced phase III, tuple merge.
     let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
     println!("\nC = A x A: {} nonzeros", out.c.nnz());
-    println!("chosen threshold t = {} ({} high-density rows)", out.threshold_a, out.hd_rows_a);
+    println!(
+        "chosen threshold t = {} ({} high-density rows)",
+        out.threshold_a, out.hd_rows_a
+    );
     println!("simulated wall time: {:.3} ms", out.total_ns() / 1e6);
     let w = out.profile.walls();
     println!(

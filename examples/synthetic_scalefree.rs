@@ -35,7 +35,9 @@ fn main() {
             alpha,
             200 + k,
         ));
-        let fit = fit_power_law(&a.row_sizes()).map(|f| f.alpha).unwrap_or(f64::NAN);
+        let fit = fit_power_law(&a.row_sizes())
+            .map(|f| f.alpha)
+            .unwrap_or(f64::NAN);
         let hh = hh_cpu(&mut ctx, &a, &b, &HhCpuConfig::default());
         let hi = hipc2012(&mut ctx, &a, &b);
         println!(
@@ -51,7 +53,9 @@ fn main() {
     // An R-MAT graph (the other GTgraph generator) for comparison: its
     // skewed quadrant probabilities also produce heavy-tailed rows.
     let g: CsrMatrix<f64> = rmat(14, 80_000, (0.57, 0.19, 0.19, 0.05), 7);
-    let fit = fit_power_law(&g.row_sizes()).map(|f| f.alpha).unwrap_or(f64::NAN);
+    let fit = fit_power_law(&g.row_sizes())
+        .map(|f| f.alpha)
+        .unwrap_or(f64::NAN);
     let hh = hh_cpu(&mut ctx, &g, &g, &HhCpuConfig::default());
     let hi = hipc2012(&mut ctx, &g, &g);
     println!(

@@ -10,7 +10,9 @@
 use hetero_spmm::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "email-Enron".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "email-Enron".into());
     let a = Dataset::by_name(&name)
         .unwrap_or_else(|| panic!("unknown dataset {name}; see Table I names"))
         .load::<f64>(16);
@@ -23,7 +25,10 @@ fn main() {
 
     let mut ctx = HeteroContext::scaled(16);
 
-    println!("\n{:>8} {:>12} {:>12} {:>12} {:>9}", "t", "total ms", "II ms", "III ms", "HD rows");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>12} {:>9}",
+        "t", "total ms", "II ms", "III ms", "HD rows"
+    );
     let mut best = (f64::INFINITY, 0usize);
     let mut t = 2usize;
     let mut thresholds = vec![0usize];

@@ -23,7 +23,9 @@ fn main() {
         "web graph: {} pages, {} links, power-law α ≈ {:.2}",
         graph.nrows(),
         graph.nnz(),
-        fit_power_law(&graph.row_sizes()).map(|f| f.alpha).unwrap_or(f64::NAN)
+        fit_power_law(&graph.row_sizes())
+            .map(|f| f.alpha)
+            .unwrap_or(f64::NAN)
     );
 
     let mut ctx = HeteroContext::paper();
@@ -34,15 +36,22 @@ fn main() {
         two_hop.nnz(),
         two_hop.nnz() as f64 / (two_hop.nrows() as f64 * two_hop.ncols() as f64) * 100.0
     );
-    println!("simulated heterogeneous time: {:.3} ms", out.total_ns() / 1e6);
+    println!(
+        "simulated heterogeneous time: {:.3} ms",
+        out.total_ns() / 1e6
+    );
 
     // Hubs: pages that reach the most others in two clicks.
-    let mut reach: Vec<(usize, usize)> =
-        (0..two_hop.nrows()).map(|i| (two_hop.row_nnz(i), i)).collect();
+    let mut reach: Vec<(usize, usize)> = (0..two_hop.nrows())
+        .map(|i| (two_hop.row_nnz(i), i))
+        .collect();
     reach.sort_unstable_by(|a, b| b.cmp(a));
     println!("\ntop two-hop hubs (page, reachable pages, out-links):");
     for &(nbrs, page) in reach.iter().take(5) {
-        println!("  page {page:>7}: {nbrs:>7} two-hop neighbours, {} direct links", graph.row_nnz(page));
+        println!(
+            "  page {page:>7}: {nbrs:>7} two-hop neighbours, {} direct links",
+            graph.row_nnz(page)
+        );
     }
 
     // Strongest two-hop connection (most parallel length-2 paths, using

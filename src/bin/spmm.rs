@@ -23,12 +23,8 @@ fn main() -> ExitCode {
         Some("datasets") => cmd_datasets(),
         Some("info") => with_arg(&args, 1, "dataset or .mtx path", cmd_info),
         Some("run") => cmd_run(&args),
-        Some("compare") => with_arg(&args, 1, "dataset", |d| {
-            cmd_compare(d, scale_arg(&args, 2))
-        }),
-        Some("sweep") => with_arg(&args, 1, "dataset", |d| {
-            cmd_sweep(d, scale_arg(&args, 2))
-        }),
+        Some("compare") => with_arg(&args, 1, "dataset", |d| cmd_compare(d, scale_arg(&args, 2))),
+        Some("sweep") => with_arg(&args, 1, "dataset", |d| cmd_sweep(d, scale_arg(&args, 2))),
         Some("convert") => cmd_convert(&args),
         _ => {
             eprintln!("usage: spmm <datasets|info|run|compare|sweep|convert> …");
@@ -75,7 +71,10 @@ fn load(name: &str, scale: usize) -> Result<CsrMatrix<f64>, String> {
 fn cmd_datasets() -> Result<(), String> {
     println!("{:>16} {:>10} {:>11} {:>8}", "name", "rows", "nnz", "α");
     for e in CATALOG {
-        println!("{:>16} {:>10} {:>11} {:>8.2}", e.name, e.rows, e.nnz, e.alpha);
+        println!(
+            "{:>16} {:>10} {:>11} {:>8.2}",
+            e.name, e.rows, e.nnz, e.alpha
+        );
     }
     println!("\n(paper Table I; `spmm info <name>` loads the synthetic clone)");
     Ok(())
@@ -83,7 +82,12 @@ fn cmd_datasets() -> Result<(), String> {
 
 fn cmd_info(name: &str) -> Result<(), String> {
     let m = load(name, 16)?;
-    println!("{name}: {} x {}, {} nonzeros", m.nrows(), m.ncols(), m.nnz());
+    println!(
+        "{name}: {} x {}, {} nonzeros",
+        m.nrows(),
+        m.ncols(),
+        m.nnz()
+    );
     println!(
         "rows: mean {:.2} nnz, max {} nnz",
         m.mean_row_nnz(),
@@ -130,9 +134,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut ctx = HeteroContext::scaled(scale);
     let out = run_algo(algo, &mut ctx, &a)?;
     println!("{algo} on {name} (1/{scale} scale):");
-    println!("  C = A x A: {} nonzeros from {} tuples", out.c.nnz(), out.tuples_merged);
+    println!(
+        "  C = A x A: {} nonzeros from {} tuples",
+        out.c.nnz(),
+        out.tuples_merged
+    );
     if out.threshold_a > 0 {
-        println!("  threshold t = {} ({} HD rows)", out.threshold_a, out.hd_rows_a);
+        println!(
+            "  threshold t = {} ({} HD rows)",
+            out.threshold_a, out.hd_rows_a
+        );
     }
     let p = out.profile;
     let w = p.walls();
@@ -156,15 +167,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn cmd_compare(name: &str, scale: usize) -> Result<(), String> {
     let a = load(name, scale)?;
     let mut ctx = HeteroContext::scaled(scale);
-    println!("{name} (1/{scale} scale, {} rows, {} nnz):\n", a.nrows(), a.nnz());
-    let algos = ["hh-cpu", "hipc2012", "mkl", "cusparse", "unsorted-wq", "sorted-wq"];
+    println!(
+        "{name} (1/{scale} scale, {} rows, {} nnz):\n",
+        a.nrows(),
+        a.nnz()
+    );
+    let algos = [
+        "hh-cpu",
+        "hipc2012",
+        "mkl",
+        "cusparse",
+        "unsorted-wq",
+        "sorted-wq",
+    ];
     let mut results = Vec::new();
     for algo in algos {
         let out = run_algo(algo, &mut ctx, &a)?;
         results.push((algo, out));
     }
     let hh_total = results[0].1.total_ns();
-    println!("{:>12} {:>12} {:>14}", "algorithm", "total ms", "HH-CPU speedup");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "algorithm", "total ms", "HH-CPU speedup"
+    );
     for (algo, out) in &results {
         println!(
             "{:>12} {:>12.3} {:>14.3}",

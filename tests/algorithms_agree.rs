@@ -103,5 +103,8 @@ fn f32_products_work_end_to_end() {
     let mut ctx = HeteroContext::paper();
     let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
     let expected = reference::spmm_rowrow(&a, &a).unwrap();
-    assert!(out.c.approx_eq(&expected, 1e-4, 1e-5), "f32 result diverged");
+    assert!(
+        out.c.approx_eq(&expected, 1e-4, 1e-5),
+        "f32 result diverged"
+    );
 }

@@ -6,7 +6,9 @@
 use hetero_spmm::prelude::*;
 
 fn webbase_like(seed: u64) -> CsrMatrix<f64> {
-    scale_free_matrix(&GeneratorConfig::square_power_law(16_000, 64_000, 2.1, seed))
+    scale_free_matrix(&GeneratorConfig::square_power_law(
+        16_000, 64_000, 2.1, seed,
+    ))
 }
 
 #[test]
@@ -28,8 +30,16 @@ fn hh_cpu_beats_vendor_libraries() {
     let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
     let mkl = mkl_like(&mut ctx, &a, &a);
     let cus = cusparse_like(&mut ctx, &a, &a);
-    assert!(hh.speedup_over(&mkl) > 1.0, "vs MKL {}", hh.speedup_over(&mkl));
-    assert!(hh.speedup_over(&cus) > 1.0, "vs cuSPARSE {}", hh.speedup_over(&cus));
+    assert!(
+        hh.speedup_over(&mkl) > 1.0,
+        "vs MKL {}",
+        hh.speedup_over(&mkl)
+    );
+    assert!(
+        hh.speedup_over(&cus) > 1.0,
+        "vs cuSPARSE {}",
+        hh.speedup_over(&cus)
+    );
 }
 
 #[test]
@@ -41,8 +51,16 @@ fn hh_cpu_beats_workqueue_baselines() {
     let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
     let uns = unsorted_workqueue(&mut ctx, &a, &a, units);
     let srt = sorted_workqueue(&mut ctx, &a, &a, units);
-    assert!(hh.speedup_over(&uns) > 1.0, "vs unsorted {}", hh.speedup_over(&uns));
-    assert!(hh.speedup_over(&srt) > 1.0, "vs sorted {}", hh.speedup_over(&srt));
+    assert!(
+        hh.speedup_over(&uns) > 1.0,
+        "vs unsorted {}",
+        hh.speedup_over(&uns)
+    );
+    assert!(
+        hh.speedup_over(&srt) > 1.0,
+        "vs sorted {}",
+        hh.speedup_over(&srt)
+    );
 }
 
 #[test]
@@ -66,7 +84,10 @@ fn threshold_sweep_is_convex() {
     }
     let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(min < totals[0], "interior min must beat the all-CPU end");
-    assert!(min < *totals.last().unwrap(), "interior min must beat the all-GPU end");
+    assert!(
+        min < *totals.last().unwrap(),
+        "interior min must beat the all-GPU end"
+    );
 }
 
 #[test]
@@ -77,8 +98,12 @@ fn speedup_decreases_with_alpha() {
     let n = 12_000;
     let speedup_at = |ctx: &mut HeteroContext, alpha: f64, seed: u64| {
         let a = scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(n, n * 4, alpha, seed));
-        let b =
-            scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(n, n * 4, alpha, seed + 1));
+        let b = scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(
+            n,
+            n * 4,
+            alpha,
+            seed + 1,
+        ));
         let hh = hh_cpu(ctx, &a, &b, &HhCpuConfig::default());
         let hi = hipc2012(ctx, &a, &b);
         hh.speedup_over(&hi)

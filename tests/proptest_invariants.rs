@@ -1,133 +1,209 @@
-//! Property-based invariants across the workspace, driven by proptest.
+//! Property-based invariants across the workspace.
+//!
+//! Driven by a seeded in-repo RNG rather than `proptest` so the suite runs
+//! in offline environments; every case is deterministic per seed and the
+//! failing seed is printed in the assertion message.
 
 use hetero_spmm::prelude::*;
 use hetero_spmm::sparse::coo::Triplet;
-use proptest::prelude::*;
+use spmm_rng::{Rng, StdRng};
 
-/// Strategy: a random square CSR matrix of fixed order `n`.
-fn arb_csr_n(n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
-    proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..max_nnz).prop_map(
-        move |entries| {
-            let mut coo = CooMatrix::new(n, n);
-            for (r, c, v) in entries {
-                coo.push(r, c, v);
-            }
-            coo.to_csr().expect("in-bounds by construction")
-        },
-    )
+/// A random square CSR matrix of order `n` with up to `max_nnz` duplicates
+/// pushed through COO (duplicate coordinates collapse by summation).
+fn random_csr_n(rng: &mut StdRng, n: usize, max_nnz: usize) -> CsrMatrix<f64> {
+    let nnz = rng.gen_range(0..max_nnz);
+    let mut coo = CooMatrix::new(n, n);
+    for _ in 0..nnz {
+        coo.push(
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+            rng.gen_range(-4.0..4.0),
+        );
+    }
+    coo.to_csr().expect("in-bounds by construction")
 }
 
-/// Strategy: a random small CSR matrix with the given max dimension.
-fn arb_csr(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
-    (2..max_n).prop_flat_map(move |n| arb_csr_n(n, max_nnz))
+/// A random square CSR matrix with order drawn from `2..max_n`.
+fn random_csr(rng: &mut StdRng, max_n: usize, max_nnz: usize) -> CsrMatrix<f64> {
+    let n = rng.gen_range(2..max_n);
+    random_csr_n(rng, n, max_nnz)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn hh_cpu_matches_reference(a in arb_csr(60, 500)) {
+#[test]
+fn hh_cpu_matches_reference() {
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_csr(&mut rng, 60, 500);
         let mut ctx = HeteroContext::paper();
         let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
         let expected = reference::spmm_rowrow(&a, &a).unwrap();
-        prop_assert!(out.c.approx_eq(&expected, 1e-9, 1e-12));
+        assert!(
+            out.c.approx_eq(&expected, 1e-9, 1e-12),
+            "seed {seed} diverged"
+        );
     }
+}
 
-    #[test]
-    fn rowrow_matches_dense_oracle(
-        (a, b) in (2usize..40).prop_flat_map(|n| (arb_csr_n(n, 300), arb_csr_n(n, 300)))
-    ) {
+#[test]
+fn rowrow_matches_dense_oracle() {
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let n = rng.gen_range(2..40);
+        let a = random_csr_n(&mut rng, n, 300);
+        let b = random_csr_n(&mut rng, n, 300);
         let c = reference::spmm_rowrow(&a, &b).unwrap();
         let dense = a.to_dense().matmul(&b.to_dense());
-        prop_assert!(c.to_dense().approx_eq(&dense, 1e-9, 1e-12));
+        assert!(
+            c.to_dense().approx_eq(&dense, 1e-9, 1e-12),
+            "seed {seed} diverged"
+        );
     }
+}
 
-    #[test]
-    fn transpose_is_involutive(a in arb_csr(80, 600)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+#[test]
+fn transpose_is_involutive() {
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let a = random_csr(&mut rng, 80, 600);
+        assert_eq!(a.transpose().transpose(), a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn csr_csc_roundtrip(a in arb_csr(80, 600)) {
-        prop_assert_eq!(a.to_csc().to_csr(), a.clone());
-        prop_assert_eq!(a.to_coo().to_csr().unwrap(), a);
+#[test]
+fn csr_csc_roundtrip() {
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let a = random_csr(&mut rng, 80, 600);
+        assert_eq!(a.to_csc().to_csr(), a.clone(), "seed {seed}");
+        assert_eq!(a.to_coo().to_csr().unwrap(), a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn transpose_reverses_products(a in arb_csr(30, 200)) {
-        // (A·A)ᵀ = Aᵀ·Aᵀ
+#[test]
+fn transpose_reverses_products() {
+    // (A·A)ᵀ = Aᵀ·Aᵀ
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let a = random_csr(&mut rng, 30, 200);
         let left = reference::spmm_rowrow(&a, &a).unwrap().transpose();
         let t = a.transpose();
         let right = reference::spmm_rowrow(&t, &t).unwrap();
-        prop_assert!(left.approx_eq(&right, 1e-9, 1e-12));
+        assert!(left.approx_eq(&right, 1e-9, 1e-12), "seed {seed} diverged");
     }
+}
 
-    #[test]
-    fn merge_agrees_with_serial_conversion(
-        entries in proptest::collection::vec((0u32..50, 0u32..50, -2.0f64..2.0), 0..2_000)
-    ) {
-        let pool = hetero_spmm::parallel::ThreadPool::new(3);
-        let tuples: Vec<Triplet<f64>> =
-            entries.iter().map(|&(r, c, v)| Triplet { row: r, col: c, val: v }).collect();
+#[test]
+fn merge_agrees_with_serial_conversion() {
+    let pool = hetero_spmm::parallel::ThreadPool::new(3);
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let len = rng.gen_range(0usize..2_000);
+        let entries: Vec<(u32, u32, f64)> = (0..len)
+            .map(|_| {
+                (
+                    rng.gen_range(0u32..50),
+                    rng.gen_range(0u32..50),
+                    rng.gen_range(-2.0..2.0),
+                )
+            })
+            .collect();
+        let tuples: Vec<Triplet<f64>> = entries
+            .iter()
+            .map(|&(r, c, v)| Triplet {
+                row: r,
+                col: c,
+                val: v,
+            })
+            .collect();
         let merged = hetero_spmm::core::merge::merge_tuples(tuples, (50, 50), &pool);
         let mut coo = CooMatrix::new(50, 50);
         for (r, c, v) in entries {
             coo.push(r as usize, c as usize, v);
         }
-        prop_assert!(merged.approx_eq(&coo.to_csr().unwrap(), 1e-9, 1e-12));
+        assert!(
+            merged.approx_eq(&coo.to_csr().unwrap(), 1e-9, 1e-12),
+            "seed {seed} diverged"
+        );
     }
+}
 
-    #[test]
-    fn histogram_mass_is_conserved(a in arb_csr(100, 800)) {
+#[test]
+fn histogram_mass_is_conserved() {
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(600 + seed);
+        let a = random_csr(&mut rng, 100, 800);
         let h = RowHistogram::from_matrix(&a);
-        prop_assert_eq!(h.nnz(), a.nnz());
-        prop_assert_eq!(h.nrows(), a.nrows());
+        assert_eq!(h.nnz(), a.nnz(), "seed {seed}");
+        assert_eq!(h.nrows(), a.nrows(), "seed {seed}");
         let total: usize = h.counts().iter().sum();
-        prop_assert_eq!(total, a.nrows());
+        assert_eq!(total, a.nrows(), "seed {seed}");
         // high-density counts are monotone non-increasing in the threshold
         for t in 0..h.max_row_size() {
-            prop_assert!(h.high_density_rows(t) >= h.high_density_rows(t + 1));
+            assert!(
+                h.high_density_rows(t) >= h.high_density_rows(t + 1),
+                "seed {seed}, threshold {t}"
+            );
         }
     }
+}
 
-    #[test]
-    fn generator_respects_shape_and_determinism(
-        n in 16usize..400, factor in 1usize..6, seed in 0u64..1_000
-    ) {
+#[test]
+fn generator_respects_shape_and_determinism() {
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(700 + seed);
+        let n = rng.gen_range(16usize..400);
+        let factor = rng.gen_range(1usize..6);
+        let gen_seed = rng.gen_range(0u64..1_000);
         let nnz = n * factor;
-        let cfg = GeneratorConfig::square_power_law(n, nnz, 2.5, seed);
+        let cfg = GeneratorConfig::square_power_law(n, nnz, 2.5, gen_seed);
         let a: CsrMatrix<f64> = scale_free_matrix(&cfg);
         let b: CsrMatrix<f64> = scale_free_matrix(&cfg);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(a.shape(), (n, n));
+        assert_eq!(&a, &b, "seed {seed}: generator must be deterministic");
+        assert_eq!(a.shape(), (n, n), "seed {seed}");
         for r in 0..a.nrows() {
             let (cols, _) = a.row(r);
-            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+            assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "seed {seed}: row {r} not strictly sorted"
+            );
         }
     }
+}
 
-    #[test]
-    fn simulated_times_are_finite_and_positive(a in arb_csr(50, 400)) {
-        prop_assume!(a.nnz() > 0);
+#[test]
+fn simulated_times_are_finite_and_positive() {
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(800 + seed);
+        let a = random_csr(&mut rng, 50, 400);
+        if a.nnz() == 0 {
+            continue;
+        }
         let mut ctx = HeteroContext::paper();
         let out = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
-        prop_assert!(out.total_ns().is_finite());
-        prop_assert!(out.total_ns() > 0.0);
+        assert!(out.total_ns().is_finite(), "seed {seed}");
+        assert!(out.total_ns() > 0.0, "seed {seed}");
         for w in out.profile.walls() {
-            prop_assert!(w.is_finite() && w >= 0.0);
+            assert!(w.is_finite() && w >= 0.0, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn spmv_distributes_over_product(a in arb_csr(30, 250)) {
-        // (A·A)·x == A·(A·x)
+#[test]
+fn spmv_distributes_over_product() {
+    // (A·A)·x == A·(A·x)
+    for seed in 0..24 {
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let a = random_csr(&mut rng, 30, 250);
         let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 7) as f64 - 3.0).collect();
         let c = reference::spmm_rowrow(&a, &a).unwrap();
         let lhs = reference::spmv(&c, &x).unwrap();
         let inner = reference::spmv(&a, &x).unwrap();
         let rhs = reference::spmv(&a, &inner).unwrap();
         for (l, r) in lhs.iter().zip(&rhs) {
-            prop_assert!((l - r).abs() <= 1e-8 + 1e-8 * r.abs());
+            assert!(
+                (l - r).abs() <= 1e-8 + 1e-8 * r.abs(),
+                "seed {seed} diverged"
+            );
         }
     }
 }

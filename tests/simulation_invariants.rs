@@ -78,9 +78,7 @@ fn warm_caches_never_slow_a_device_down() {
 fn bigger_inputs_cost_more_simulated_time() {
     let mut ctx = HeteroContext::paper();
     let small = matrix(4);
-    let big = scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(
-        8_000, 48_000, 2.3, 4,
-    ));
+    let big = scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(8_000, 48_000, 2.3, 4));
     let t_small = hh_cpu(&mut ctx, &small, &small, &HhCpuConfig::default()).total_ns();
     let t_big = hh_cpu(&mut ctx, &big, &big, &HhCpuConfig::default()).total_ns();
     assert!(t_big > t_small, "big {t_big} vs small {t_small}");
@@ -124,7 +122,10 @@ fn ell_hybrid_agrees_with_hhcpu_pipeline() {
     use hetero_spmm::sparse::ell::EllMatrix;
     let a = matrix(6);
     let ell = EllMatrix::from_csr(&a);
-    assert!(ell.padding_ratio() > 1.5, "scale-free input must pad heavily");
+    assert!(
+        ell.padding_ratio() > 1.5,
+        "scale-free input must pad heavily"
+    );
     let back = ell.to_csr();
     let mut ctx = HeteroContext::paper();
     let via_ell = hh_cpu(&mut ctx, &back, &back, &HhCpuConfig::default());
