@@ -6,39 +6,53 @@
 //! (the paper tunes them offline per matrix).
 
 use criterion::Criterion;
-use spmm_bench::{all_datasets, banner, context_for, emit_json, load, scale};
+use spmm_bench::{banner, emit_json, load, par_over_datasets, scale};
 use spmm_core::{threshold, ThresholdPolicy};
 use spmm_sparse::RowHistogram;
+
+/// Everything one matrix contributes to the figure, computed off-thread.
+struct MatrixRow {
+    nrows: usize,
+    nnz: usize,
+    t: usize,
+    hd: usize,
+    bins: Vec<(usize, usize)>,
+}
 
 fn figure() {
     banner(
         "Figure 5",
         "row histograms + per-matrix threshold + HD row count",
     );
+    // all 12 empirical searches run concurrently (one matrix per host
+    // thread); printing stays serial over the ordered results below
+    let computed = par_over_datasets(|_, m, ctx| {
+        let th = threshold::identify(ctx, m, m, ThresholdPolicy::default());
+        let h = RowHistogram::from_matrix(m);
+        MatrixRow {
+            nrows: m.nrows(),
+            nnz: m.nnz(),
+            t: th.t_a,
+            hd: h.high_density_rows(th.t_a),
+            bins: h.log_binned(),
+        }
+    });
     let mut rows = Vec::new();
-    for (entry, m) in all_datasets() {
-        let ctx = context_for(entry.name);
-        let th = threshold::identify(&ctx, &m, &m, ThresholdPolicy::default());
-        let h = RowHistogram::from_matrix(&m);
-        let hd = h.high_density_rows(th.t_a);
+    for (entry, r) in &computed {
         println!(
             "\n{} — rows {} nnz {} | Threshold = {}, HD = {}",
-            entry.name,
-            m.nrows(),
-            m.nnz(),
-            th.t_a,
-            hd
+            entry.name, r.nrows, r.nnz, r.t, r.hd
         );
-        for &(lo, n) in h.log_binned().iter().take(14) {
-            let marker = if lo >= th.t_a { "HD" } else { "  " };
+        for &(lo, n) in r.bins.iter().take(14) {
+            let marker = if lo >= r.t { "HD" } else { "  " };
             let bar = "#".repeat(((n as f64).log10().max(0.0) * 5.0) as usize + 1);
             println!("  {marker} size≥{lo:<8} {n:>10} {bar}");
         }
         rows.push(serde_json::json!({
             "name": entry.name,
-            "threshold": th.t_a,
-            "hd_rows": hd,
-            "bins": h.log_binned().iter().map(|&(lo, n)| serde_json::json!([lo, n])).collect::<Vec<_>>(),
+            "threshold": r.t,
+            "hd_rows": r.hd,
+            "bins": r.bins.iter().map(|&(lo, n)| serde_json::json!([lo, n])).collect::<Vec<_>>(),
         }));
     }
     emit_json(

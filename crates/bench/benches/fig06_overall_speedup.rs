@@ -7,7 +7,7 @@
 //! results of cusparse and Intel MKL by 4x and 3.6x respectively."
 
 use criterion::Criterion;
-use spmm_bench::{all_datasets, banner, context_for, emit_json, geomean, load, mean, scale};
+use spmm_bench::{banner, emit_json, geomean, load, mean, par_over_datasets, scale};
 use spmm_core::{cusparse_like, hh_cpu, hipc2012, mkl_like, HhCpuConfig};
 
 fn figure() {
@@ -19,19 +19,25 @@ fn figure() {
         "{:>16} {:>8} | {:>10} {:>10} | {:>9} {:>9} {:>9}",
         "matrix", "α", "HH-CPU ms", "HiPC ms", "vs HiPC", "vs MKL", "vs cuSP"
     );
-    let mut rows = Vec::new();
-    let (mut s_hipc, mut s_mkl, mut s_cus) = (Vec::new(), Vec::new(), Vec::new());
-    for (entry, a) in all_datasets() {
-        let mut ctx = context_for(entry.name);
-        let hh = hh_cpu(&mut ctx, &a, &a, &HhCpuConfig::default());
-        let hi = hipc2012(&mut ctx, &a, &a);
-        let mkl = mkl_like(&mut ctx, &a, &a);
-        let cus = cusparse_like(&mut ctx, &a, &a);
-        let (v_hipc, v_mkl, v_cus) = (
+    // all four algorithms for one matrix share that matrix's worker thread
+    // (they reuse warmed caches in sequence, as the serial loop did);
+    // matrices run concurrently
+    let computed = par_over_datasets(|_, a, ctx| {
+        let hh = hh_cpu(ctx, a, a, &HhCpuConfig::default());
+        let hi = hipc2012(ctx, a, a);
+        let mkl = mkl_like(ctx, a, a);
+        let cus = cusparse_like(ctx, a, a);
+        let speedups = (
             hh.speedup_over(&hi),
             hh.speedup_over(&mkl),
             hh.speedup_over(&cus),
         );
+        (hh, hi, speedups)
+    });
+    let mut rows = Vec::new();
+    let (mut s_hipc, mut s_mkl, mut s_cus) = (Vec::new(), Vec::new(), Vec::new());
+    for (entry, (hh, hi, (v_hipc, v_mkl, v_cus))) in &computed {
+        let (v_hipc, v_mkl, v_cus) = (*v_hipc, *v_mkl, *v_cus);
         println!(
             "{:>16} {:>8.2} | {:>10.2} {:>10.2} | {:>9.3} {:>9.3} {:>9.3}",
             entry.name,

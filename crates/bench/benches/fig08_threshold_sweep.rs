@@ -8,8 +8,8 @@
 //! applicable threshold is close to the time taken by [13]."
 
 use criterion::Criterion;
-use spmm_bench::{all_datasets, banner, context_for, emit_json, load, scale};
-use spmm_core::{hh_cpu, mkl_like, threshold, HhCpuConfig};
+use spmm_bench::{banner, emit_json, load, par_over_datasets, scale};
+use spmm_core::{hh_cpu, mkl_like, threshold, HhCpuConfig, SymbolicStructure};
 
 /// Log-spaced thresholds between the degenerate ends.
 fn ladder(max_row: usize) -> Vec<usize> {
@@ -28,22 +28,33 @@ fn figure() {
         "Figure 8",
         "total / Phase II / Phase III time vs threshold t (per matrix)",
     );
-    // The sweep itself uses the cost-model dry run (`estimate_phases`) so
-    // all 12 matrices x ~12 thresholds finish in minutes; the phase walls
-    // it reports are identical to a full run's (the numerics only add the
-    // real arithmetic, which does not affect simulated time).
+    // The sweep itself uses the cost-model dry run (`estimate_phases_with`)
+    // so all 12 matrices x ~12 thresholds finish in minutes; the phase
+    // walls it reports are identical to a full run's (the numerics only add
+    // the real arithmetic, which does not affect simulated time). Matrices
+    // sweep concurrently, and each builds its symbolic structure (sorted
+    // row sizes + nnz prefix sums) once — the per-threshold classification
+    // aggregates are then O(log n) lookups instead of CSR rescans.
+    let computed = par_over_datasets(|_, a, ctx| {
+        let sym = SymbolicStructure::from_matrix(a);
+        let mut points = Vec::new();
+        for t in ladder(a.max_row_nnz()) {
+            let (p2, p3) = threshold::estimate_phases_with(ctx, a, a, t.max(1), &sym, &sym);
+            points.push((t, p2, p3));
+        }
+        let mkl = mkl_like(ctx, a, a);
+        (a.max_row_nnz(), points, mkl)
+    });
     let mut matrices = Vec::new();
-    for (entry, a) in all_datasets() {
-        let ctx = context_for(entry.name);
-        println!("\n{} (max row = {}):", entry.name, a.max_row_nnz());
+    for (entry, (max_row, points, mkl)) in &computed {
+        println!("\n{} (max row = {}):", entry.name, max_row);
         println!(
             "{:>10} {:>12} {:>12} {:>12}",
             "t", "II+III ms", "phase II ms", "phase III ms"
         );
         let mut series = Vec::new();
         let mut totals = Vec::new();
-        for t in ladder(a.max_row_nnz()) {
-            let (p2, p3) = threshold::estimate_phases(&ctx, &a, &a, t.max(1));
+        for &(t, p2, p3) in points {
             println!(
                 "{:>10} {:>12.3} {:>12.3} {:>12.3}",
                 t,
@@ -60,8 +71,6 @@ fn figure() {
         // convexity check: interior minimum strictly better than both ends
         let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
         let convex = min < totals[0] && min < *totals.last().unwrap();
-        let mut ctx = ctx;
-        let mkl = mkl_like(&mut ctx, &a, &a);
         println!(
             "  interior minimum beats both ends: {} | t=0 end {:.3} ms vs MKL compute {:.3} ms",
             if convex { "YES" } else { "NO" },

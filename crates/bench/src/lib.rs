@@ -59,6 +59,35 @@ pub fn all_datasets() -> Vec<(CatalogEntry, CsrMatrix<f64>)> {
         .collect()
 }
 
+/// Run `compute` over all 12 Table I matrices concurrently — one host
+/// thread per matrix, each with its own freshly built platform context —
+/// and return `(entry, result)` in the paper's order. Each per-matrix
+/// context runs single-threaded (`with_host_threads(1)`) so twelve
+/// matrices don't oversubscribe the machine; simulated nanoseconds,
+/// thresholds, and profiles are invariant under host thread counts (the
+/// root determinism suite proves it), so the figures' numbers are
+/// identical to the old serial loop — only the sweep's wall clock drops.
+///
+/// Figure drivers must *print* from the returned ordered vector, never
+/// from inside `compute`, or the rows interleave.
+pub fn par_over_datasets<T, F>(compute: F) -> Vec<(CatalogEntry, T)>
+where
+    T: Send,
+    F: Fn(&CatalogEntry, &CsrMatrix<f64>, &mut HeteroContext) -> T + Sync,
+{
+    let data = all_datasets();
+    let pool = spmm_parallel::ThreadPool::host();
+    let results = pool.par_map(data.len(), |i| {
+        let (entry, m) = &data[i];
+        let mut ctx = context_for(entry.name).with_host_threads(1);
+        compute(entry, m, &mut ctx)
+    });
+    data.into_iter()
+        .map(|(entry, _)| entry)
+        .zip(results)
+        .collect()
+}
+
 /// Write a JSON artifact for the figure under `target/experiments/`.
 pub fn emit_json(figure: &str, value: &serde_json::Value) {
     // anchor at the workspace target dir regardless of the bench's cwd

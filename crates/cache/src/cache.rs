@@ -117,7 +117,14 @@ impl Cache {
     /// resident. On a miss the line is installed, evicting the set's LRU
     /// line if full.
     pub fn access(&mut self, addr: u64) -> AccessResult {
-        let line = addr >> self.line_shift;
+        self.access_line(addr >> self.line_shift)
+    }
+
+    /// [`Cache::access`] for a caller that already holds the line number
+    /// (in *this* cache's line-size units). The hierarchy's range walks use
+    /// this to probe once per line without re-deriving the line from a byte
+    /// address at every level.
+    pub fn access_line(&mut self, line: u64) -> AccessResult {
         let set_idx = (line % self.num_sets) as usize;
         let set = &mut self.sets[set_idx];
         if let Some(pos) = set.iter().position(|&t| t == line) {
@@ -135,6 +142,14 @@ impl Cache {
         }
     }
 
+    /// Count a hit on a line the caller has *proven* is at the MRU position
+    /// of its set (it was the target of the immediately preceding access).
+    /// A full probe would find it at position 0 and rotate nothing, so the
+    /// only state change is the hit counter — which this records.
+    pub(crate) fn record_mru_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
     /// Touch `len` consecutive bytes starting at `addr`; returns the number
     /// of line misses. This is the bulk interface the spmm cost model uses
     /// to charge a whole row read in one call.
@@ -146,7 +161,7 @@ impl Cache {
         let last = (addr + len as u64 - 1) >> self.line_shift;
         let mut misses = 0;
         for line in first..=last {
-            if self.access(line << self.line_shift) == AccessResult::Miss {
+            if self.access_line(line) == AccessResult::Miss {
                 misses += 1;
             }
         }

@@ -93,7 +93,16 @@ pub struct MemoryHierarchy {
     l2: Cache,
     l3: Cache,
     stats: HierarchyStats,
+    /// L1 line number of the most recent probe (`NO_LINE` when none). That
+    /// line is by construction at the MRU position of its L1 set, so a
+    /// repeat touch can be answered as an L1 hit without walking the set —
+    /// the last-line filter of the streaming fast path.
+    last_line: u64,
+    l1_shift: u32,
 }
+
+/// `last_line` sentinel: no byte address shifts down to this line number.
+const NO_LINE: u64 = u64::MAX;
 
 impl MemoryHierarchy {
     pub fn new(config: HierarchyConfig) -> Self {
@@ -103,6 +112,8 @@ impl MemoryHierarchy {
             l2: Cache::new(config.l2),
             l3: Cache::new(config.l3),
             stats: HierarchyStats::default(),
+            last_line: NO_LINE,
+            l1_shift: config.l1.line_size.trailing_zeros(),
         }
     }
 
@@ -129,15 +140,30 @@ impl MemoryHierarchy {
         self.l2.flush();
         self.l3.flush();
         self.stats = HierarchyStats::default();
+        self.last_line = NO_LINE;
     }
 
-    /// Touch one address; returns the nanoseconds this access costs.
-    pub fn access(&mut self, addr: u64) -> f64 {
+    /// Walk one L1 line through the level chain: updates the per-level hit
+    /// counters and the last-line filter and returns the full
+    /// (undiscounted) traversal cost — but does *not* charge `total_ns`;
+    /// the caller charges exactly what it decides the access costs (full
+    /// price, or the stream discount).
+    #[inline]
+    fn probe_line(&mut self, line: u64) -> f64 {
+        if line == self.last_line {
+            // proven MRU of its L1 set: the full probe would hit at
+            // position 0 and rotate nothing
+            self.l1.record_mru_hit();
+            self.stats.l1_hits += 1;
+            return self.config.l1_ns;
+        }
+        self.last_line = line;
         let c = &self.config;
         let mut ns = c.l1_ns;
-        if self.l1.access(addr) == AccessResult::Hit {
+        if self.l1.access_line(line) == AccessResult::Hit {
             self.stats.l1_hits += 1;
         } else {
+            let addr = line << self.l1_shift;
             ns += c.l2_ns;
             if self.l2.access(addr) == AccessResult::Hit {
                 self.stats.l2_hits += 1;
@@ -151,6 +177,12 @@ impl MemoryHierarchy {
                 }
             }
         }
+        ns
+    }
+
+    /// Touch one address; returns the nanoseconds this access costs.
+    pub fn access(&mut self, addr: u64) -> f64 {
+        let ns = self.probe_line(addr >> self.l1_shift);
         self.stats.total_ns += ns;
         ns
     }
@@ -158,28 +190,141 @@ impl MemoryHierarchy {
     /// Touch `len` consecutive bytes at line granularity; returns total
     /// nanoseconds. One probe per distinct line, so sequential scans cost
     /// `ceil(len / line)` probes — the streaming behaviour the CPU kernel
-    /// model relies on.
+    /// model relies on. The first line pays full latency; later lines of
+    /// the same call are prefetched continuations and are charged
+    /// `cost × stream_discount`, in both the returned time and `total_ns`
+    /// (stats are written once per line with the charged cost — there is no
+    /// post-hoc correction).
+    ///
+    /// This is the *reference* walk: one `probe_line` per line, nothing
+    /// hoisted. [`MemoryHierarchy::access_stream`] is the fast path and is
+    /// bit-identical to this by the equivalence suite.
     pub fn access_range(&mut self, addr: u64, len: usize) -> f64 {
         if len == 0 {
             return 0.0;
         }
-        let line = self.config.l1.line_size as u64;
-        let first = addr / line;
-        let last = (addr + len as u64 - 1) / line;
+        let first = addr >> self.l1_shift;
+        let last = (addr + len as u64 - 1) >> self.l1_shift;
         let mut ns = 0.0;
         for l in first..=last {
-            let cost = self.access(l * line);
-            if l == first {
-                ns += cost;
+            let cost = self.probe_line(l);
+            let charged = if l == first {
+                cost
             } else {
-                // prefetched continuation of the stream
-                let discounted = cost * self.config.stream_discount;
-                ns += discounted;
-                self.stats.total_ns += discounted - cost;
+                cost * self.config.stream_discount
+            };
+            ns += charged;
+            self.stats.total_ns += charged;
+        }
+        ns
+    }
+
+    /// Fast-path range walk: semantically identical to
+    /// [`MemoryHierarchy::access_range`] (bit-identical returned ns and
+    /// [`HierarchyStats`]) but built for the simulator's hot loop:
+    ///
+    /// * bounds and config are computed once, not re-derived per line;
+    /// * the last-line (MRU) filter short-circuits only the first line —
+    ///   inside one call consecutive lines are distinct by construction,
+    ///   so the per-line filter check is hoisted out of the loop entirely;
+    /// * L1 probes go straight to the set (`Cache::access_line`), and the
+    ///   L2/L3 chain is only entered on an L1 miss;
+    /// * per-level hit counters accumulate in locals and are flushed to
+    ///   the stats struct once per call (integer adds — order-free), while
+    ///   `total_ns` is charged per line in walk order so the float sum
+    ///   matches the reference walk exactly.
+    pub fn access_stream(&mut self, addr: u64, len: usize) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        let first = addr >> self.l1_shift;
+        let last = (addr + len as u64 - 1) >> self.l1_shift;
+        let HierarchyConfig {
+            l1_ns,
+            l2_ns,
+            l3_ns,
+            mem_ns,
+            stream_discount,
+            ..
+        } = self.config;
+        let l1_shift = self.l1_shift;
+        let mut l1h = 0u64;
+        let mut lower = LowerHits::default();
+        let mut ns = 0.0f64;
+        let mut total_ns = self.stats.total_ns;
+        // First line: full price, and the only line the MRU filter can
+        // apply to (lines within the walk are strictly increasing).
+        let cost = if first == self.last_line {
+            self.l1.record_mru_hit();
+            l1h += 1;
+            l1_ns
+        } else {
+            self.last_line = first;
+            if self.l1.access_line(first) == AccessResult::Hit {
+                l1h += 1;
+                l1_ns
+            } else {
+                self.miss_chain(first << l1_shift, l1_ns + l2_ns, l3_ns, mem_ns, &mut lower)
+            }
+        };
+        ns += cost;
+        total_ns += cost;
+        if first < last {
+            for line in first + 1..=last {
+                let cost = if self.l1.access_line(line) == AccessResult::Hit {
+                    l1h += 1;
+                    l1_ns
+                } else {
+                    self.miss_chain(line << l1_shift, l1_ns + l2_ns, l3_ns, mem_ns, &mut lower)
+                };
+                let charged = cost * stream_discount;
+                ns += charged;
+                total_ns += charged;
+            }
+            self.last_line = last;
+        }
+        self.stats.l1_hits += l1h;
+        self.stats.l2_hits += lower.l2;
+        self.stats.l3_hits += lower.l3;
+        self.stats.mem_accesses += lower.mem;
+        self.stats.total_ns = total_ns;
+        ns
+    }
+
+    /// L2→L3→memory continuation of a probe that missed L1; returns the
+    /// full traversal cost given `base = l1_ns + l2_ns` already owed.
+    #[inline]
+    fn miss_chain(
+        &mut self,
+        addr: u64,
+        base: f64,
+        l3_ns: f64,
+        mem_ns: f64,
+        hits: &mut LowerHits,
+    ) -> f64 {
+        let mut ns = base;
+        if self.l2.access(addr) == AccessResult::Hit {
+            hits.l2 += 1;
+        } else {
+            ns += l3_ns;
+            if self.l3.access(addr) == AccessResult::Hit {
+                hits.l3 += 1;
+            } else {
+                ns += mem_ns;
+                hits.mem += 1;
             }
         }
         ns
     }
+}
+
+/// Local L2/L3/memory hit counters for one `access_stream` call, flushed
+/// into [`HierarchyStats`] once per call.
+#[derive(Default)]
+struct LowerHits {
+    l2: u64,
+    l3: u64,
+    mem: u64,
 }
 
 #[cfg(test)]

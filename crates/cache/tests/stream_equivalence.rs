@@ -1,0 +1,173 @@
+//! Equivalence suite for the fast-path range walk: `access_stream` must
+//! return bit-identical nanoseconds and leave bit-identical
+//! [`HierarchyStats`] compared to the per-line reference walk
+//! (`access_range`), over adversarial address patterns — aliasing sets,
+//! line-straddling ranges, warm/cold mixes — and for every stream
+//! discount. With `stream_discount = 1.0` both must also match a raw
+//! per-line `access()` loop exactly.
+
+use spmm_cache::{CacheConfig, HierarchyConfig, HierarchyStats, MemoryHierarchy};
+
+fn config(stream_discount: f64) -> HierarchyConfig {
+    HierarchyConfig {
+        l1: CacheConfig {
+            size_bytes: 512,
+            line_size: 64,
+            assoc: 2,
+        },
+        l2: CacheConfig {
+            size_bytes: 2048,
+            line_size: 64,
+            assoc: 4,
+        },
+        l3: CacheConfig {
+            size_bytes: 8192,
+            line_size: 64,
+            assoc: 4,
+        },
+        l1_ns: 1.2,
+        l2_ns: 3.0,
+        l3_ns: 12.0,
+        mem_ns: 65.0,
+        stream_discount,
+    }
+}
+
+/// Bit-exact comparison of two stats blocks (f64 compared by bits).
+fn assert_stats_identical(a: HierarchyStats, b: HierarchyStats, what: &str) {
+    assert_eq!(a.l1_hits, b.l1_hits, "{what}: l1_hits");
+    assert_eq!(a.l2_hits, b.l2_hits, "{what}: l2_hits");
+    assert_eq!(a.l3_hits, b.l3_hits, "{what}: l3_hits");
+    assert_eq!(a.mem_accesses, b.mem_accesses, "{what}: mem_accesses");
+    assert_eq!(
+        a.total_ns.to_bits(),
+        b.total_ns.to_bits(),
+        "{what}: total_ns bits ({} vs {})",
+        a.total_ns,
+        b.total_ns
+    );
+}
+
+/// Adversarial access mix: tiny L1 (4 sets) so a 256-byte stride aliases
+/// into the same set, ranges that straddle line boundaries, re-walks of
+/// warm data interleaved with cold streams, and 0-length walks.
+fn adversarial_ops() -> Vec<(u64, usize)> {
+    let mut ops: Vec<(u64, usize)> = vec![
+        // cold streaming over several lines (line-aligned), then an
+        // immediate warm re-walk
+        (0, 512),
+        (0, 512),
+        // line-straddling: starts mid-line, ends mid-line
+        (37, 200),
+        (61, 7),
+    ];
+    // set-aliasing walk: stride of exactly num_sets lines lands every range
+    // in set 0, forcing LRU evictions between walks
+    for k in 0..8u64 {
+        ops.push((k * 4 * 64, 64));
+    }
+    // revisit the first aliasing lines (some evicted, some L2/L3 resident)
+    for k in 0..8u64 {
+        ops.push((k * 4 * 64, 1));
+    }
+    // a big cold stream far away, then the warm region again
+    ops.push((1 << 20, 4096));
+    ops.push((0, 512));
+    // zero-length and single-byte walks
+    ops.push((128, 0));
+    ops.push((128, 1));
+    // consecutive ranges that share a boundary line (the MRU filter case:
+    // the next walk's first line is the previous walk's last line)
+    ops.push((1000, 100)); // ends in line 17
+    ops.push((1100, 100)); // starts in line 17
+
+    // pseudo-random mix (deterministic LCG)
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for _ in 0..200 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let addr = (x >> 16) % (1 << 14);
+        let len = (x % 400) as usize;
+        ops.push((addr, len));
+    }
+    ops
+}
+
+#[test]
+fn stream_matches_reference_walk_bit_for_bit() {
+    for discount in [0.2, 0.5, 1.0, 0.0] {
+        let mut reference = MemoryHierarchy::new(config(discount));
+        let mut fast = MemoryHierarchy::new(config(discount));
+        for (i, &(addr, len)) in adversarial_ops().iter().enumerate() {
+            let r = reference.access_range(addr, len);
+            let f = fast.access_stream(addr, len);
+            assert_eq!(
+                r.to_bits(),
+                f.to_bits(),
+                "op {i} (addr={addr}, len={len}, discount={discount}): ns {r} vs {f}"
+            );
+            assert_stats_identical(
+                reference.stats(),
+                fast.stats(),
+                &format!("op {i} (discount={discount})"),
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_matches_per_line_access_when_discount_is_one() {
+    // with no stream discount every line costs full price, so the range
+    // walks must equal a raw per-line access() loop exactly — returned ns
+    // and stats, from any warm/cold state
+    let mut by_access = MemoryHierarchy::new(config(1.0));
+    let mut by_stream = MemoryHierarchy::new(config(1.0));
+    for &(addr, len) in &adversarial_ops() {
+        let expected: f64 = if len == 0 {
+            0.0
+        } else {
+            let (first, last) = (addr / 64, (addr + len as u64 - 1) / 64);
+            (first..=last).map(|l| by_access.access(l * 64)).sum()
+        };
+        let got = by_stream.access_stream(addr, len);
+        assert_eq!(expected.to_bits(), got.to_bits(), "addr={addr} len={len}");
+        assert_stats_identical(by_access.stats(), by_stream.stats(), "per-line access");
+    }
+}
+
+#[test]
+fn interleaving_scalar_accesses_keeps_paths_equivalent() {
+    // scalar access() between range walks exercises the last-line filter's
+    // cross-call bookkeeping: a stale filter would mis-serve the next walk
+    let mut reference = MemoryHierarchy::new(config(0.2));
+    let mut fast = MemoryHierarchy::new(config(0.2));
+    let mut x = 1u64;
+    for i in 0..500 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let addr = (x >> 20) % (1 << 13);
+        if i % 3 == 0 {
+            let r = reference.access(addr);
+            let f = fast.access(addr);
+            assert_eq!(r.to_bits(), f.to_bits());
+        } else {
+            let len = (x % 300) as usize;
+            let r = reference.access_range(addr, len);
+            let f = fast.access_stream(addr, len);
+            assert_eq!(r.to_bits(), f.to_bits(), "i={i} addr={addr} len={len}");
+        }
+        assert_stats_identical(reference.stats(), fast.stats(), "interleaved");
+    }
+}
+
+#[test]
+fn flush_resets_the_last_line_filter() {
+    let mut h = MemoryHierarchy::new(config(0.2));
+    h.access_stream(0, 64);
+    h.flush();
+    // after a flush the first line must miss all the way to memory again —
+    // a surviving MRU filter would wrongly serve it from L1
+    let ns = h.access_stream(0, 64);
+    assert_eq!(ns, 1.2 + 3.0 + 12.0 + 65.0);
+    assert_eq!(h.stats().mem_accesses, 1);
+}

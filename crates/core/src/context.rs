@@ -43,6 +43,16 @@ impl HeteroContext {
         Self::new(Platform::scaled(scale))
     }
 
+    /// Same context with an explicit host thread count. The pool only sets
+    /// how much *wall-clock* parallelism the host spends (numeric kernels,
+    /// the candidate-parallel Phase I search); simulated nanoseconds,
+    /// threshold picks, and profiles are identical for every value — the
+    /// determinism suite sweeps this to prove it.
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.pool = ThreadPool::new(threads);
+        self
+    }
+
     /// Flush both devices' cache state so the next run starts cold — call
     /// between independent measurements.
     pub fn reset(&mut self) {

@@ -44,7 +44,7 @@ pub use context::HeteroContext;
 pub use hhcpu::{hh_cpu, HhCpuConfig};
 pub use hipc2012::hipc2012;
 pub use result::SpmmOutput;
-pub use threshold::{ThresholdPolicy, Thresholds};
+pub use threshold::{SymbolicStructure, ThresholdPolicy, Thresholds};
 pub use units::WorkUnitConfig;
 pub use vendor::{cusparse_like, mkl_like};
 pub use wq_baselines::{sorted_workqueue, unsorted_workqueue};

@@ -109,6 +109,111 @@ pub fn classify<T: Scalar>(m: &CsrMatrix<T>, t: usize) -> Vec<bool> {
     (0..m.nrows()).map(|i| m.row_nnz(i) >= t.max(1)).collect()
 }
 
+/// Symbolic row-size structure shared by every candidate of one Phase I
+/// search: the per-row sizes plus an nnz-sorted copy with prefix sums.
+///
+/// Thresholding is monotone in row nnz, so once the sizes are sorted every
+/// candidate's aggregate — HD/LD row counts, HD/LD nnz totals, and the
+/// mean row sizes the Phase III grain calculation needs — falls out of one
+/// `partition_point` binary search plus a prefix-sum lookup: `O(log n)`
+/// per candidate instead of the `O(n + nnz)` re-scan the serial search
+/// paid. The aggregates are *exact*, not approximate: integer sums over a
+/// permutation of the same rows are order-free, so every derived f64 is
+/// bit-identical to the quantity the per-candidate scan produced.
+#[derive(Debug, Clone)]
+pub struct SymbolicStructure {
+    /// nnz of every row, in row order (row sizes fit u32: ≤ ncols).
+    row_sizes: Vec<u32>,
+    /// Row sizes sorted ascending.
+    sorted_sizes: Vec<u32>,
+    /// `prefix_nnz[k]` = total nnz of the `k` smallest rows.
+    prefix_nnz: Vec<u64>,
+}
+
+impl SymbolicStructure {
+    /// One `O(n log n)` pass over the matrix; every candidate afterwards is
+    /// `O(log n)` (aggregates) or one cheap `O(n)` sweep of the cached size
+    /// array (row lists / Boolean masks — no CSR walk).
+    pub fn from_matrix<T: Scalar>(m: &CsrMatrix<T>) -> Self {
+        let row_sizes: Vec<u32> = (0..m.nrows()).map(|i| m.row_nnz(i) as u32).collect();
+        let mut sorted_sizes = row_sizes.clone();
+        sorted_sizes.sort_unstable();
+        let mut prefix_nnz = Vec::with_capacity(sorted_sizes.len() + 1);
+        let mut acc = 0u64;
+        prefix_nnz.push(0);
+        for &s in &sorted_sizes {
+            acc += s as u64;
+            prefix_nnz.push(acc);
+        }
+        Self {
+            row_sizes,
+            sorted_sizes,
+            prefix_nnz,
+        }
+    }
+
+    /// Rows in the matrix.
+    pub fn nrows(&self) -> usize {
+        self.row_sizes.len()
+    }
+
+    /// Total stored entries.
+    pub fn nnz(&self) -> u64 {
+        *self.prefix_nnz.last().unwrap()
+    }
+
+    /// Largest row size.
+    pub fn max_row_nnz(&self) -> usize {
+        self.sorted_sizes.last().copied().unwrap_or(0) as usize
+    }
+
+    /// Index of the first sorted row with at least `max(t, 1)` nonzeros —
+    /// everything below is `L`, everything from it on is `H`. `O(log n)`.
+    fn split_point(&self, t: usize) -> usize {
+        let t = t.max(1);
+        self.sorted_sizes.partition_point(|&s| (s as usize) < t)
+    }
+
+    /// Number of high-density rows under threshold `t`. `O(log n)`.
+    pub fn hd_rows(&self, t: usize) -> usize {
+        self.nrows() - self.split_point(t)
+    }
+
+    /// Total nnz in low-density rows under `t`. `O(log n)`.
+    pub fn ld_nnz(&self, t: usize) -> u64 {
+        self.prefix_nnz[self.split_point(t)]
+    }
+
+    /// Total nnz in high-density rows under `t`. `O(log n)`.
+    pub fn hd_nnz(&self, t: usize) -> u64 {
+        self.nnz() - self.ld_nnz(t)
+    }
+
+    /// The Boolean array, identical to [`classify`] on the source matrix.
+    pub fn classify(&self, t: usize) -> Vec<bool> {
+        let t = t.max(1);
+        self.row_sizes.iter().map(|&s| s as usize >= t).collect()
+    }
+
+    /// `(rows_h, rows_l)` in ascending row order — the exact walk order the
+    /// stateful device models require, derived from the cached size array
+    /// without touching the CSR.
+    pub fn partition_rows(&self, t: usize) -> (Vec<usize>, Vec<usize>) {
+        let split = self.split_point(t);
+        let t = t.max(1);
+        let mut rows_h = Vec::with_capacity(self.nrows() - split);
+        let mut rows_l = Vec::with_capacity(split);
+        for (i, &s) in self.row_sizes.iter().enumerate() {
+            if s as usize >= t {
+                rows_h.push(i);
+            } else {
+                rows_l.push(i);
+            }
+        }
+        (rows_h, rows_l)
+    }
+}
+
 /// Pick the candidate threshold minimising the estimated Phase II wall
 /// time `max(cpu(A_H × B_H), gpu(A_L × B_L))`.
 ///
@@ -166,15 +271,34 @@ fn balanced_threshold(
 /// device state per candidate) and keep the candidate with the smallest
 /// estimated total. One threshold is used for both matrices, as in the
 /// paper's per-matrix experiments (Figure 5 annotates a single threshold).
+///
+/// The search fans the ladder out over the host pool: every candidate gets
+/// its own freshly cloned devices (no shared mutable state), the candidate
+/// costs come back in ladder order, and the argmin is taken serially with
+/// the same strict `<` the serial loop used — so the picked `t` and its
+/// estimated cost are bit-identical for every host thread count.
 fn empirical_threshold<T: Scalar>(
     ctx: &HeteroContext,
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     candidates: usize,
 ) -> usize {
+    let sym_a = SymbolicStructure::from_matrix(a);
+    let sym_b = if std::ptr::eq(a, b) {
+        None
+    } else {
+        Some(SymbolicStructure::from_matrix(b))
+    };
     // Log-spaced candidate ladder: the interesting thresholds live in the
-    // distribution's tail, which row-count quantiles never reach.
-    let max_size = (0..a.nrows()).map(|i| a.row_nnz(i)).max().unwrap_or(0);
+    // distribution's tail, which row-count quantiles never reach. The
+    // single shared `t` classifies *both* matrices, so for A ≠ B products
+    // (the Figure 10 workload) the ladder must span whichever tail is
+    // longer — building it from A alone would leave B's hub rows
+    // unexplored.
+    let max_size = sym_b
+        .as_ref()
+        .map_or(sym_a.max_row_nnz(), |s| s.max_row_nnz())
+        .max(sym_a.max_row_nnz());
     let mut ladder: Vec<usize> = Vec::new();
     let mut t = 2usize;
     while t <= max_size {
@@ -192,9 +316,13 @@ fn empirical_threshold<T: Scalar>(
         }
     }
 
+    let sym_b_ref = sym_b.as_ref().unwrap_or(&sym_a);
+    let totals = ctx.pool.par_map(ladder.len(), |k| {
+        let (p2, p3) = estimate_phases_with(ctx, a, b, ladder[k], &sym_a, sym_b_ref);
+        p2 + p3
+    });
     let mut best = (f64::INFINITY, 1usize);
-    for t in ladder {
-        let total = estimate_run(ctx, a, b, t);
+    for (&t, total) in ladder.iter().zip(totals) {
         if total < best.0 {
             best = (total, t);
         }
@@ -218,23 +346,41 @@ pub fn estimate_run<T: Scalar>(
 }
 
 /// Like [`estimate_run`] but returns the two phase walls separately — the
-/// series the Figure 8 sweep plots.
+/// series the Figure 8 sweep plots. Builds the symbolic structure on the
+/// fly; sweeps evaluating many thresholds on one matrix should build a
+/// [`SymbolicStructure`] once and call [`estimate_phases_with`].
 pub fn estimate_phases<T: Scalar>(
     ctx: &HeteroContext,
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     t: usize,
 ) -> (f64, f64) {
-    let a_high = classify(a, t);
-    let b_high = if std::ptr::eq(a, b) {
-        a_high.clone()
+    let sym_a = SymbolicStructure::from_matrix(a);
+    let sym_b = if std::ptr::eq(a, b) {
+        None
     } else {
-        classify(b, t)
+        Some(SymbolicStructure::from_matrix(b))
     };
+    estimate_phases_with(ctx, a, b, t, &sym_a, sym_b.as_ref().unwrap_or(&sym_a))
+}
+
+/// [`estimate_phases`] against precomputed symbolic structures: every
+/// classification aggregate (row lists, masks, HD counts, mean row sizes,
+/// nnz totals) is derived from `sym_a`/`sym_b` — `O(log n)` lookups plus
+/// one sweep of the cached size arrays — instead of re-scanning the CSR
+/// per candidate. Pass the same structure twice for the self-product.
+pub fn estimate_phases_with<T: Scalar>(
+    ctx: &HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    t: usize,
+    sym_a: &SymbolicStructure,
+    sym_b: &SymbolicStructure,
+) -> (f64, f64) {
+    let (rows_h, rows_l) = sym_a.partition_rows(t);
+    let b_high = sym_b.classify(t);
     let b_low: Vec<bool> = b_high.iter().map(|&h| !h).collect();
-    let rows_h: Vec<usize> = (0..a.nrows()).filter(|&i| a_high[i]).collect();
-    let rows_l: Vec<usize> = (0..a.nrows()).filter(|&i| !a_high[i]).collect();
-    let hd_b = b_high.iter().filter(|&&h| h).count();
+    let hd_b = sym_b.hd_rows(t);
     let ld_b = b.nrows() - hd_b;
 
     let mut cpu = spmm_hetsim::CpuDevice::new(ctx.platform.cpu);
@@ -243,17 +389,20 @@ pub fn estimate_phases<T: Scalar>(
     let g2 = gpu.spmm_cost(a, b, rows_l.iter().copied(), Some(&b_low));
 
     // Phase III dry run over the same two-queue, nnz-budgeted discipline
-    // as `hh_cpu`.
+    // as `hh_cpu`. The means and nnz totals are integer sums over fixed row
+    // sets, so the prefix-sum derivations are bit-identical to a re-scan.
     let units = crate::units::WorkUnitConfig::adaptive(rows_l.len(), rows_h.len());
-    let mean = |rows: &[usize]| -> f64 {
-        if rows.is_empty() {
-            0.0
-        } else {
-            rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64 / rows.len() as f64
-        }
+    let mean_al = if rows_l.is_empty() {
+        0.0
+    } else {
+        sym_a.ld_nnz(t) as f64 / rows_l.len() as f64
     };
-    let (mean_al, mean_ah) = (mean(&rows_l), mean(&rows_h));
-    let lh_nnz: f64 = rows_l.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
+    let mean_ah = if rows_h.is_empty() {
+        0.0
+    } else {
+        sym_a.hd_nnz(t) as f64 / rows_h.len() as f64
+    };
+    let lh_nnz: f64 = sym_a.ld_nnz(t) as f64;
     let lh_blocked_total = if hd_b > 0 && !rows_l.is_empty() {
         cpu.spmm_cost_blocked(a, b, rows_l.iter().copied(), Some(&b_high))
     } else {

@@ -85,7 +85,7 @@ impl CpuDevice {
             }
             let mut row_ns = 0.0f64;
             // stream-read the A row once
-            row_ns += self.hierarchy.access_range(
+            row_ns += self.hierarchy.access_stream(
                 A_BASE + (a.indptr()[i] * ENTRY_BYTES) as u64,
                 acols.len() * ENTRY_BYTES,
             );
@@ -101,7 +101,7 @@ impl CpuDevice {
                     continue;
                 }
                 // stream-read the B row through the cache hierarchy
-                row_ns += self.hierarchy.access_range(
+                row_ns += self.hierarchy.access_stream(
                     B_BASE + (b_indptr[j] * ENTRY_BYTES) as u64,
                     bnnz * ENTRY_BYTES,
                 );
@@ -198,7 +198,7 @@ impl CpuDevice {
             if acols.is_empty() {
                 continue;
             }
-            let mut row_ns = self.hierarchy.access_range(
+            let mut row_ns = self.hierarchy.access_stream(
                 A_BASE + (a.indptr()[i] * ENTRY_BYTES) as u64,
                 acols.len() * ENTRY_BYTES,
             );
@@ -231,7 +231,7 @@ impl CpuDevice {
             if acols.is_empty() {
                 continue;
             }
-            let mut row_ns = self.hierarchy.access_range(
+            let mut row_ns = self.hierarchy.access_stream(
                 A_BASE + (a.indptr()[i] * ENTRY_BYTES) as u64,
                 acols.len() * ENTRY_BYTES,
             );
@@ -251,9 +251,12 @@ impl CpuDevice {
     /// ns for the CPU's share of Phase I: scanning row sizes and picking
     /// the threshold from the histogram (`O(nrows)` streaming).
     pub fn threshold_scan_cost(&self, nrows: usize) -> SimNs {
-        // one pass over 8-byte row sizes at streaming bandwidth (~8 GB/s
-        // effective per the hierarchy's mem latency over 64B lines)
-        nrows as f64 * 1.0
+        // one parallel pass over 8-byte row sizes at the spec's DRAM
+        // streaming rate — derived from `CpuSpec` (not a flat constant) so
+        // rescaled or custom platforms price their own Phase I scan
+        let bytes = nrows as f64 * 8.0;
+        bytes * self.spec.stream_ns_per_byte
+            / (self.spec.cores as f64 * self.spec.parallel_efficiency)
     }
 
     /// ns for the CPU to merge `tuples` Phase II/III output tuples into CSR

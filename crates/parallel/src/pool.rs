@@ -172,6 +172,52 @@ impl ThreadPool {
         out
     }
 
+    /// Order-preserving parallel map with *dynamic* index assignment:
+    /// workers claim one index at a time from a shared counter and write
+    /// `out[i] = f(i)` into its slot. Unlike [`ThreadPool::map`] (static
+    /// contiguous chunks), heavily skewed per-index costs — one Phase-I
+    /// ladder candidate simulating 100× the rows of another — cannot strand
+    /// the tail of the work on a single thread. The output depends only on
+    /// `f` and the index, never on the schedule, so the result is identical
+    /// for every thread count (the determinism the candidate-parallel
+    /// threshold search is built on).
+    pub fn par_map<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        let t = self.num_threads.min(len);
+        if t == 1 {
+            return (0..len).map(f).collect();
+        }
+        let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
+        {
+            let slots = crate::DisjointSlice::new(&mut out);
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..t {
+                    let cursor = &cursor;
+                    let f = &f;
+                    let slots = &slots;
+                    s.spawn(move || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        // each index is claimed exactly once → disjoint
+                        unsafe { slots.write(i, Some(f(i))) };
+                    });
+                }
+            });
+        }
+        out.into_iter()
+            .map(|v| v.expect("every claimed index was written"))
+            .collect()
+    }
+
     /// Fold each static chunk with `fold`, then combine the per-thread
     /// accumulators with `reduce`.
     pub fn fold_reduce<A, F, R>(&self, len: usize, init: A, fold: F, reduce: R) -> A
@@ -246,6 +292,34 @@ mod tests {
         let pool = ThreadPool::new(3);
         let out = pool.map(100, |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_is_identical_for_every_thread_count() {
+        let expected: Vec<usize> = (0..503).map(|i| i * i + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.par_map(503, |i| i * i + 1), expected);
+        }
+        assert!(ThreadPool::new(4).par_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_map_survives_skewed_work() {
+        // one index is 1000x heavier than the rest; dynamic claiming must
+        // still produce the ordered output
+        let pool = ThreadPool::new(4);
+        let out = pool.par_map(64, |i| {
+            let spins = if i == 0 { 100_000 } else { 100 };
+            (0..spins).fold(i as u64, |a, x| a.wrapping_add(x))
+        });
+        let expected: Vec<u64> = (0..64)
+            .map(|i| {
+                let spins = if i == 0 { 100_000u64 } else { 100 };
+                (0..spins).fold(i as u64, |a, x| a.wrapping_add(x))
+            })
+            .collect();
+        assert_eq!(out, expected);
     }
 
     #[test]

@@ -10,15 +10,22 @@
 //! cargo run --release --example device_shootout
 //! ```
 //!
-//! Doubles as the CI smoke-perf probe: after the per-flop table it times
-//! the host-side two-pass Gustavson engine against the legacy
-//! tuple-sort path on a small synthetic matrix and writes the wall-clock
-//! numbers to `BENCH_pr.json` (override the path with `BENCH_JSON`).
+//! Doubles as the CI smoke-perf probe: after the per-flop table it
+//!
+//! * times the host-side two-pass Gustavson engine against the legacy
+//!   tuple-sort path on a small synthetic matrix;
+//! * times the Phase-I empirical threshold search serial vs
+//!   candidate-parallel and runs a Figure-8-style threshold sweep on three
+//!   probe matrices, failing if any picked threshold drifts from the
+//!   committed goldens (`tests/golden/thresholds.txt`);
+//! * writes every wall-clock number to `BENCH_pr.json` (override the path
+//!   with `BENCH_JSON`).
 
 use std::time::Instant;
 
 use hetero_spmm::core::kernels::{product_tuples, row_products};
 use hetero_spmm::core::merge::{concat_row_blocks, merge_tuples};
+use hetero_spmm::core::{threshold, SymbolicStructure};
 use hetero_spmm::hetsim::{CpuDevice, GpuDevice};
 use hetero_spmm::parallel::ThreadPool;
 use hetero_spmm::prelude::*;
@@ -79,12 +86,18 @@ fn main() {
          assigning the \"right\" work to the \"right\" processor is the paper's thesis."
     );
 
-    smoke_perf();
+    let engine = smoke_perf();
+    let phase1 = phase1_perf();
+
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_pr.json".into());
+    let json = format!("{{\n{engine},\n{phase1}\n}}\n");
+    std::fs::write(&path, json).expect("write smoke-perf artifact");
+    println!("wrote {path}");
 }
 
 /// Time the two host numeric backends on one small scale-free product and
-/// record the result for the CI artifact.
-fn smoke_perf() {
+/// return the JSON fragment for the CI artifact.
+fn smoke_perf() -> String {
     let a = scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(4_000, 40_000, 2.1, 7));
     let pool = ThreadPool::new(4);
     let rows: Vec<usize> = (0..a.nrows()).collect();
@@ -130,18 +143,152 @@ fn smoke_perf() {
         tuple_ms / engine_ms,
     );
 
-    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_pr.json".into());
-    let json = format!(
-        "{{\n  \"matrix\": {{\"nrows\": {}, \"nnz\": {}, \"output_nnz\": {}}},\n  \
+    format!(
+        "  \"matrix\": {{\"nrows\": {}, \"nnz\": {}, \"output_nnz\": {}}},\n  \
          \"repetitions\": {reps},\n  \
          \"engine_ms\": {engine_ms:.4},\n  \
          \"tuple_path_ms\": {tuple_ms:.4},\n  \
-         \"speedup\": {:.4}\n}}\n",
+         \"speedup\": {:.4}",
         a.nrows(),
         a.nnz(),
         via_engine.nnz(),
         tuple_ms / engine_ms,
+    )
+}
+
+/// Log-spaced threshold ladder between the degenerate ends (the Figure 8
+/// sweep shape).
+fn ladder(max_row: usize) -> Vec<usize> {
+    let mut out = vec![0];
+    let mut t = 2usize;
+    while t <= max_row {
+        out.push(t);
+        t *= 2;
+    }
+    out.push(max_row + 1);
+    out
+}
+
+/// Time the Phase-I empirical threshold search serial (one host thread) vs
+/// candidate-parallel (host pool) on three probe matrices, run a
+/// Figure-8-style sweep on each, and verify every pick against the
+/// committed goldens. Returns the JSON fragment for the CI artifact.
+fn phase1_perf() -> String {
+    let golden: Vec<(&str, usize)> = include_str!("../tests/golden/thresholds.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let name = it.next().expect("golden line: name");
+            let t = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("golden line: threshold");
+            (name, t)
+        })
+        .collect();
+    let golden_for = |name: &str| -> usize {
+        golden
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no golden threshold for {name}"))
+            .1
+    };
+
+    // the smoke matrix plus two Table I clones, each with its matched
+    // platform scale (small catalog matrices shrink less than SPMM_SCALE)
+    let mut cases: Vec<(&str, CsrMatrix<f64>, usize)> = vec![(
+        "smoke",
+        scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(4_000, 40_000, 2.1, 7)),
+        32,
+    )];
+    for name in ["wiki-Vote", "email-Enron"] {
+        let d = Dataset::by_name(name).unwrap();
+        cases.push((name, d.load(32), d.effective_scale(32)));
+    }
+
+    let policy = ThresholdPolicy::Empirical { candidates: 10 };
+    let host_threads = ThreadPool::host().num_threads();
+    let reps = 3;
+    println!("\nphase-I search (host pool = {host_threads} threads, best of {reps}):");
+
+    let mut rows = Vec::new();
+    let (mut serial_total, mut parallel_total) = (0.0f64, 0.0f64);
+    for (name, a, eff) in &cases {
+        let serial_ctx = HeteroContext::scaled(*eff).with_host_threads(1);
+        let parallel_ctx = HeteroContext::scaled(*eff);
+
+        let (mut serial_ms, mut parallel_ms) = (f64::INFINITY, f64::INFINITY);
+        let (mut pick_serial, mut pick_parallel) = (0usize, 0usize);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            pick_serial = threshold::identify(&serial_ctx, a, a, policy).t_a;
+            serial_ms = serial_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+            let t0 = Instant::now();
+            pick_parallel = threshold::identify(&parallel_ctx, a, a, policy).t_a;
+            parallel_ms = parallel_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        // the hard gate: the candidate-parallel search must agree with the
+        // serial one, and both must match the committed golden pick
+        assert_eq!(
+            pick_serial, pick_parallel,
+            "{name}: parallel Phase-I search diverged from serial"
+        );
+        assert_eq!(
+            pick_serial,
+            golden_for(name),
+            "{name}: Phase-I threshold drifted from tests/golden/thresholds.txt"
+        );
+
+        // fig08-style sweep: symbolic structure built once, every ladder
+        // threshold estimated from it
+        let t0 = Instant::now();
+        let sym = SymbolicStructure::from_matrix(a);
+        let totals: Vec<f64> = ladder(a.max_row_nnz())
+            .into_iter()
+            .map(|t| {
+                let (p2, p3) =
+                    threshold::estimate_phases_with(&parallel_ctx, a, a, t.max(1), &sym, &sym);
+                p2 + p3
+            })
+            .collect();
+        let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            totals.iter().all(|t| t.is_finite()),
+            "{name}: sweep produced a non-finite estimate"
+        );
+
+        println!(
+            "  {name:<14} t={pick_serial:<5} serial {serial_ms:>8.2} ms | parallel {parallel_ms:>8.2} ms | \
+             {:.2}x | sweep ({} pts) {sweep_ms:.2} ms",
+            serial_ms / parallel_ms,
+            totals.len(),
+        );
+        serial_total += serial_ms;
+        parallel_total += parallel_ms;
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"threshold\": {pick_serial}, \
+             \"serial_ms\": {serial_ms:.4}, \"parallel_ms\": {parallel_ms:.4}, \
+             \"speedup\": {:.4}, \"sweep_points\": {}, \"sweep_ms\": {sweep_ms:.4}}}",
+            serial_ms / parallel_ms,
+            totals.len(),
+        ));
+    }
+    println!(
+        "  phase-I total: serial {serial_total:.2} ms | parallel {parallel_total:.2} ms | {:.2}x \
+         (speedup needs a multi-core runner)",
+        serial_total / parallel_total
     );
-    std::fs::write(&path, json).expect("write smoke-perf artifact");
-    println!("wrote {path}");
+
+    format!(
+        "  \"phase1_host_threads\": {host_threads},\n  \
+         \"phase1_serial_ms\": {serial_total:.4},\n  \
+         \"phase1_parallel_ms\": {parallel_total:.4},\n  \
+         \"phase1_speedup\": {:.4},\n  \
+         \"phase1_matrices\": [\n{}\n  ]",
+        serial_total / parallel_total,
+        rows.join(",\n"),
+    )
 }
