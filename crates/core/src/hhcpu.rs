@@ -2,13 +2,14 @@
 
 use spmm_sparse::{CsrMatrix, Scalar};
 
-use spmm_hetsim::{PhaseBreakdown, PhaseTimes};
+use spmm_hetsim::gpu::{masked_output_widths, masked_output_widths_for};
+use spmm_hetsim::{DeviceKind, PhaseBreakdown, PhaseTimes};
 use spmm_workqueue::{End, RangeQueue};
 
 use crate::context::HeteroContext;
-use crate::kernels::{row_products, rows_where, RowBlock};
-use crate::merge::concat_row_blocks;
+use crate::kernels::rows_where;
 use crate::result::SpmmOutput;
+use crate::schedule::{self, ClaimSchedule, ExecPolicy, ScheduledClaim};
 use crate::threshold::{self, ThresholdPolicy};
 use crate::units::WorkUnitConfig;
 
@@ -20,6 +21,8 @@ pub struct HhCpuConfig {
     /// Phase III work-unit sizes; `None` ⇒ scale with the matrix
     /// ([`WorkUnitConfig::auto`]).
     pub units: Option<WorkUnitConfig>,
+    /// Which executor runs the scheduled numeric work.
+    pub exec: ExecPolicy,
 }
 
 impl HhCpuConfig {
@@ -27,17 +30,9 @@ impl HhCpuConfig {
     pub fn with_threshold(t: usize) -> Self {
         Self {
             policy: ThresholdPolicy::Fixed { t_a: t, t_b: t },
-            units: None,
+            ..Self::default()
         }
     }
-}
-
-/// Mean stored entries of the listed rows.
-fn mean_nnz<T: Scalar>(a: &CsrMatrix<T>, rows: &[usize]) -> f64 {
-    if rows.is_empty() {
-        return 0.0;
-    }
-    rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64 / rows.len() as f64
 }
 
 /// Run Algorithm HH-CPU: `C = A × B` with the four-way split of §III.
@@ -58,24 +53,26 @@ pub fn hh_cpu<T: Scalar>(
     );
     ctx.reset();
 
-    // ---- Phase I: thresholds + Boolean row classification ----
-    let th = threshold::identify(ctx, a, b, config.policy);
+    // ---- Phase I: thresholds + Boolean row classification. The plan
+    // keeps the symbolic row-size structures, so every Phase III mean and
+    // nnz total below is a prefix-sum lookup, not a CSR rescan. ----
+    let plan = threshold::identify_plan(ctx, a, b, config.policy);
+    let th = &plan.thresholds;
     let phase1 = PhaseTimes::new(
         ctx.cpu.threshold_scan_cost(a.nrows() + b.nrows()),
         // the Boolean array is computed on the GPU from the row sizes
         ctx.gpu.boolean_mask_cost(a.nrows() + b.nrows()),
     );
-    // row sizes up, then A and B entirely ("we don't split the matrices
-    // physically", §IV-A), plus the Boolean arrays; the self-product A × A
-    // ships the matrix once
-    let matrix_bytes = if std::ptr::eq(a, b) {
-        a.byte_size()
+    // row sizes up (4 B each), then A and B entirely ("we don't split the
+    // matrices physically", §IV-A), plus the Boolean arrays down (1 B per
+    // row); the self-product A × A ships its matrix *and* its per-row
+    // arrays exactly once
+    let (matrix_bytes, row_meta_bytes) = if std::ptr::eq(a, b) {
+        (a.byte_size(), a.nrows() * 5)
     } else {
-        a.byte_size() + b.byte_size()
+        (a.byte_size() + b.byte_size(), (a.nrows() + b.nrows()) * 5)
     };
-    let mut transfer_ns = ctx
-        .link
-        .transfer_ns((a.nrows() + b.nrows()) * 4 + matrix_bytes + a.nrows() + b.nrows());
+    let mut transfer_ns = ctx.link.transfer_ns(row_meta_bytes + matrix_bytes);
 
     let b_low: Vec<bool> = th.b_high.iter().map(|&h| !h).collect();
     let rows_ah = rows_where(&th.a_high, true);
@@ -88,6 +85,14 @@ pub fn hh_cpu<T: Scalar>(
         .units
         .unwrap_or_else(|| WorkUnitConfig::adaptive(rows_al.len(), rows_ah.len()));
 
+    // Width tables for the planned GPU costing: the B_L table serves the
+    // Phase II product (A_L rows) and the GPU's A_H × B_L claims — all A
+    // rows together — so it is built eagerly across the host pool. The B_H
+    // table only matters if the GPU drains the CPU's queue end, and then
+    // only for A_L rows, so it is built lazily and restricted.
+    let w_low = masked_output_widths(a, b, Some(&b_low), &ctx.pool);
+    let mut w_high: Option<Vec<u32>> = None;
+
     // ---- Phase II: A_H × B_H on CPU ∥ A_L × B_L on GPU. The CPU side
     // runs the cache-blocked kernel of §III-B (B_H tiled through L2). ----
     let cpu2 = ctx
@@ -95,13 +100,8 @@ pub fn hh_cpu<T: Scalar>(
         .spmm_cost_blocked(a, b, rows_ah.iter().copied(), Some(&th.b_high));
     let gpu2 = ctx
         .gpu
-        .spmm_cost(a, b, rows_al.iter().copied(), Some(&b_low));
+        .spmm_cost_planned(a, b, rows_al.iter().copied(), Some(&b_low), &w_low);
     let phase2 = PhaseTimes::new(cpu2, gpu2);
-
-    let mut cpu_blocks: Vec<RowBlock<T>> =
-        vec![row_products(a, b, &rows_ah, Some(&th.b_high), &ctx.pool)];
-    let mut gpu_blocks: Vec<RowBlock<T>> =
-        vec![row_products(a, b, &rows_al, Some(&b_low), &ctx.pool)];
 
     // ---- Phase III: A_L × B_H and A_H × B_L through the double-ended
     // workqueue (§III-C): "on the CPU end of the queue, we fill the queue
@@ -115,13 +115,32 @@ pub fn hh_cpu<T: Scalar>(
     // queue exists for. ----
     let hd_b = th.hd_rows_b();
     let ld_b = b.nrows() - hd_b;
-    let mean_al = mean_nnz(a, &rows_al);
-    let mean_ah = mean_nnz(a, &rows_ah);
+    // Means and totals from the Phase I prefix sums: integer sums over the
+    // same row sets the old CSR walks covered, so every derived f64 is
+    // bit-identical — one binary search instead of an O(rows) rescan.
+    let sym_a = &plan.sym_a;
+    let mean_al = if rows_al.is_empty() {
+        0.0
+    } else {
+        sym_a.ld_nnz(th.t_a) as f64 / rows_al.len() as f64
+    };
+    let mean_ah = if rows_ah.is_empty() {
+        0.0
+    } else {
+        sym_a.hd_nnz(th.t_a) as f64 / rows_ah.len() as f64
+    };
     // The CPU's A_L × B_H work is one cache-blocked tiling pass shared by
     // all of its claims (consecutive rows off the same end continue the
     // pass), so the pass is costed once and claims are charged their nnz
     // share of it.
-    let lh_nnz: f64 = rows_al.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
+    let lh_nnz: f64 = sym_a.ld_nnz(th.t_a) as f64;
+    // Per-claim nnz shares come from one prefix-sum array over the A_L
+    // list (claims are contiguous ranges of it).
+    let mut al_prefix: Vec<u64> = Vec::with_capacity(rows_al.len() + 1);
+    al_prefix.push(0);
+    for &i in &rows_al {
+        al_prefix.push(al_prefix.last().unwrap() + sym_a.row_size(i) as u64);
+    }
     let lh_blocked_total = if hd_b > 0 && !rows_al.is_empty() {
         ctx.cpu
             .spmm_cost_blocked(a, b, rows_al.iter().copied(), Some(&th.b_high))
@@ -135,6 +154,8 @@ pub fn hh_cpu<T: Scalar>(
     let gpu_claim_nnz = (units.gpu_rows as f64 * mean_ah).max(1.0);
     let grain = |claim_nnz: f64, mean: f64| ((claim_nnz / mean.max(1.0)) as usize).max(1);
 
+    let mut cpu_claims: Vec<ScheduledClaim<'_>> = Vec::new();
+    let mut gpu_claims: Vec<ScheduledClaim<'_>> = Vec::new();
     let mut cpu_clock = 0.0f64;
     let mut gpu_clock = 0.0f64;
     loop {
@@ -163,46 +184,88 @@ pub fn hh_cpu<T: Scalar>(
             break;
         };
         let (rows, b_mask): (&[usize], &[bool]) = if high_rows {
-            (&rows_ah[piece], &b_low)
+            (&rows_ah[piece.clone()], &b_low)
         } else {
-            (&rows_al[piece], &th.b_high)
+            (&rows_al[piece.clone()], &th.b_high)
         };
         if cpu_turn {
             // B_H-side products stay cache-blocked on the CPU (the claim's
             // share of the single tiling pass); when the CPU helps with
             // the GPU end (A_H × B_L) the B operand is scattered and the
             // streaming kernel is the right model.
-            cpu_clock += if high_rows {
+            let ns = if high_rows {
                 ctx.cpu.spmm_cost(a, b, rows.iter().copied(), Some(b_mask))
             } else {
-                let piece_nnz: f64 = rows.iter().map(|&i| a.row_nnz(i)).sum::<usize>() as f64;
+                let piece_nnz = (al_prefix[piece.end] - al_prefix[piece.start]) as f64;
                 lh_blocked_total * piece_nnz / lh_nnz.max(1.0)
             };
-            cpu_blocks.push(row_products(a, b, rows, Some(b_mask), &ctx.pool));
+            cpu_clock += ns;
+            cpu_claims.push(ScheduledClaim {
+                device: DeviceKind::Cpu,
+                rows,
+                b_mask: Some(b_mask),
+                sim_ns: ns,
+            });
         } else {
-            gpu_clock += ctx.gpu.spmm_cost(a, b, rows.iter().copied(), Some(b_mask));
-            gpu_blocks.push(row_products(a, b, rows, Some(b_mask), &ctx.pool));
+            let ns = if high_rows {
+                ctx.gpu
+                    .spmm_cost_planned(a, b, rows.iter().copied(), Some(b_mask), &w_low)
+            } else {
+                let w = w_high.get_or_insert_with(|| {
+                    masked_output_widths_for(a, b, Some(&th.b_high), &rows_al, &ctx.pool)
+                });
+                ctx.gpu
+                    .spmm_cost_planned(a, b, rows.iter().copied(), Some(b_mask), w)
+            };
+            gpu_clock += ns;
+            gpu_claims.push(ScheduledClaim {
+                device: DeviceKind::Gpu,
+                rows,
+                b_mask: Some(b_mask),
+                sim_ns: ns,
+            });
         }
     }
     let phase3 = PhaseTimes::new(cpu_clock, gpu_clock);
+
+    // ---- Execute: all scheduled numeric work in one batched pass (or the
+    // per-claim reference, per `config.exec`). Claims go in block order —
+    // each device's Phase II product first, then its Phase III claims in
+    // claim order — exactly the order the pre-split code pushed its
+    // RowBlocks, which fixes the merge's floating-point summation. ----
+    let mut claims = Vec::with_capacity(2 + cpu_claims.len() + gpu_claims.len());
+    claims.push(ScheduledClaim {
+        device: DeviceKind::Cpu,
+        rows: &rows_ah,
+        b_mask: Some(&th.b_high),
+        sim_ns: cpu2,
+    });
+    claims.extend(cpu_claims);
+    claims.push(ScheduledClaim {
+        device: DeviceKind::Gpu,
+        rows: &rows_al,
+        b_mask: Some(&b_low),
+        sim_ns: gpu2,
+    });
+    claims.extend(gpu_claims);
+    let sched = ClaimSchedule { claims };
+    let (c, counts) =
+        schedule::execute(a, b, &sched, (a.nrows(), b.ncols()), &ctx.pool, config.exec);
 
     // ---- Phase IV: merge. The GPU pre-merges its own tuples while the CPU
     // performs the full combine (results are "merged together and stored on
     // the CPU", §III-D); the GPU's partials come down over the link. The
     // simulated devices still pay the paper's sort-based recipe per stored
-    // entry (block nnz == accumulator insertions == tuples), but the host
-    // combines the row blocks with the per-row merge of
-    // [`concat_row_blocks`]. ----
-    let cpu_entries: usize = cpu_blocks.iter().map(RowBlock::nnz).sum();
-    let gpu_entries: usize = gpu_blocks.iter().map(RowBlock::nnz).sum();
+    // entry (claim nnz == accumulator insertions == tuples), but the host
+    // combined the claims with the per-row merge of the executor. ----
+    let cpu_entries = counts.cpu_entries;
+    let gpu_entries = counts.gpu_entries;
     transfer_ns += ctx.link.transfer_ns(gpu_entries * 16);
     let tuples_merged = cpu_entries + gpu_entries;
     let phase4 = PhaseTimes::new(
         ctx.cpu.merge_cost(tuples_merged),
         ctx.gpu.merge_cost(gpu_entries),
     );
-    cpu_blocks.append(&mut gpu_blocks);
-    let c = concat_row_blocks(&cpu_blocks, (a.nrows(), b.ncols()), &ctx.pool);
 
     SpmmOutput {
         c,

@@ -9,18 +9,28 @@
 
 use spmm_sparse::{CsrMatrix, Scalar};
 
-use spmm_hetsim::{PhaseBreakdown, PhaseTimes};
+use spmm_hetsim::gpu::masked_output_widths_for;
+use spmm_hetsim::{DeviceKind, PhaseBreakdown, PhaseTimes};
 
 use crate::context::HeteroContext;
-use crate::kernels::row_products;
-use crate::merge::concat_row_blocks;
 use crate::result::SpmmOutput;
+use crate::schedule::{self, ClaimSchedule, ExecPolicy, ScheduledClaim};
 
 /// Run the static-partition heterogeneous spmm of [13].
 pub fn hipc2012<T: Scalar>(
     ctx: &mut HeteroContext,
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
+) -> SpmmOutput<T> {
+    hipc2012_with(ctx, a, b, ExecPolicy::default())
+}
+
+/// [`hipc2012`] with an explicit executor policy.
+pub fn hipc2012_with<T: Scalar>(
+    ctx: &mut HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    exec: ExecPolicy,
 ) -> SpmmOutput<T> {
     assert_eq!(
         a.ncols(),
@@ -56,17 +66,36 @@ pub fn hipc2012<T: Scalar>(
     let cpu_rows: Vec<usize> = (0..split).collect();
     let gpu_rows: Vec<usize> = (split..a.nrows()).collect();
     let cpu_ns = ctx.cpu.spmm_cost(a, b, cpu_rows.iter().copied(), None);
-    let gpu_ns = ctx.gpu.spmm_cost(a, b, gpu_rows.iter().copied(), None);
+    // Width table restricted to the GPU's row suffix — the single planned
+    // cost call replaces the stamp re-walk inside `spmm_cost`.
+    let w_gpu = masked_output_widths_for(a, b, None, &gpu_rows, &ctx.pool);
+    let gpu_ns = ctx
+        .gpu
+        .spmm_cost_planned(a, b, gpu_rows.iter().copied(), None, &w_gpu);
     let compute = PhaseTimes::new(cpu_ns, gpu_ns);
 
-    let cpu_block = row_products(a, b, &cpu_rows, None, &ctx.pool);
-    let gpu_block = row_products(a, b, &gpu_rows, None, &ctx.pool);
-    let gpu_count = gpu_block.nnz();
-    let tuples_merged = cpu_block.nnz() + gpu_count;
+    let sched = ClaimSchedule {
+        claims: vec![
+            ScheduledClaim {
+                device: DeviceKind::Cpu,
+                rows: &cpu_rows,
+                b_mask: None,
+                sim_ns: cpu_ns,
+            },
+            ScheduledClaim {
+                device: DeviceKind::Gpu,
+                rows: &gpu_rows,
+                b_mask: None,
+                sim_ns: gpu_ns,
+            },
+        ],
+    };
+    let (c, counts) = schedule::execute(a, b, &sched, (a.nrows(), b.ncols()), &ctx.pool, exec);
+    let gpu_count = counts.gpu_entries;
+    let tuples_merged = counts.cpu_entries + gpu_count;
 
     let transfer_ns = transfer_ns + ctx.link.transfer_ns(gpu_count * 16);
     let merge = PhaseTimes::new(ctx.cpu.merge_cost(tuples_merged), 0.0);
-    let c = concat_row_blocks(&[cpu_block, gpu_block], (a.nrows(), b.ncols()), &ctx.pool);
 
     SpmmOutput {
         c,

@@ -34,6 +34,7 @@ pub mod hipc2012;
 pub mod kernels;
 pub mod merge;
 pub mod result;
+pub mod schedule;
 pub mod spmv;
 pub mod threshold;
 pub mod units;
@@ -42,11 +43,14 @@ pub mod wq_baselines;
 
 pub use context::HeteroContext;
 pub use hhcpu::{hh_cpu, HhCpuConfig};
-pub use hipc2012::hipc2012;
+pub use hipc2012::{hipc2012, hipc2012_with};
 pub use result::SpmmOutput;
-pub use threshold::{SymbolicStructure, ThresholdPolicy, Thresholds};
+pub use schedule::{ClaimSchedule, ExecCounts, ExecPolicy, ScheduledClaim};
+pub use threshold::{identify_plan, Phase1Plan, SymbolicStructure, ThresholdPolicy, Thresholds};
 pub use units::WorkUnitConfig;
 pub use vendor::{cusparse_like, mkl_like};
-pub use wq_baselines::{sorted_workqueue, unsorted_workqueue};
+pub use wq_baselines::{
+    sorted_workqueue, sorted_workqueue_with, unsorted_workqueue, unsorted_workqueue_with,
+};
 
 pub use spmm_hetsim::{PhaseBreakdown, PhaseTimes, Platform, SimNs};

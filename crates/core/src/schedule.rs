@@ -1,0 +1,547 @@
+//! Plan/execute split for the numeric work of Phases II–IV.
+//!
+//! Every algorithm path first runs its event-driven cost simulation
+//! *serially* — thresholds, device clocks, and claim grains are pure
+//! cost-model state and must stay bit-identical to the pre-split code —
+//! recording only a [`ClaimSchedule`]: which device took which rows under
+//! which B-mask, and at what simulated cost. The numeric work then runs in
+//! one shot through [`execute`].
+//!
+//! Two executors implement the same contract:
+//!
+//! * [`ExecPolicy::PerClaim`] — the legacy shape: one
+//!   [`row_products`](crate::kernels::row_products) fork-join per claim,
+//!   then [`concat_row_blocks`](crate::merge::concat_row_blocks). Kept as
+//!   the reference the equivalence suite pins the batched path against.
+//! * [`ExecPolicy::Batched`] (default) — one symbolic sizing pass across
+//!   *every* claim, one exclusive scan, one numeric pass writing each
+//!   output row into its final pre-offset slot. The pool sees two large
+//!   guided work lists instead of two fork-joins per claim, and the
+//!   intermediate `RowBlock` copies of the per-claim path disappear.
+//!
+//! Bit-identity of the batched output is structural, not accidental: each
+//! output row's sources are ordered by claim index, which equals the old
+//! block order; a single-source row drains its accumulator straight into
+//! the final slot (the old drain plus verbatim copy); a multi-source row
+//! drains each source into scratch and k-way merges them with exactly the
+//! `sum = 0; sum += v_k` source-order accumulation the per-row merge of
+//! `concat_row_blocks` performs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use spmm_hetsim::DeviceKind;
+use spmm_parallel::{exclusive_scan, DisjointSlice, ThreadPool};
+use spmm_sparse::{ColIndex, CsrMatrix, RowSizer, Scalar, SparseAccumulator};
+
+use crate::kernels::{row_products, RowBlock};
+use crate::merge::concat_row_blocks;
+
+/// Rows a guided worker claims at a time (matches the kernels' grain: small
+/// enough that a hub row cannot hide a long tail behind it).
+const GUIDED_CHUNK: usize = 16;
+
+/// Which executor runs the scheduled numeric work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPolicy {
+    /// Single batched symbolic/numeric pass over all claims (default).
+    #[default]
+    Batched,
+    /// Legacy per-claim `row_products` + `concat_row_blocks` reference.
+    PerClaim,
+}
+
+/// One recorded claim: a device took `rows` of `A` against the `b_mask`
+/// half of `B` at simulated cost `sim_ns`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledClaim<'a> {
+    /// Which simulated device the claim was charged to.
+    pub device: DeviceKind,
+    /// Output rows (= A rows) of the claim.
+    pub rows: &'a [usize],
+    /// B-row mask of the product quadrant (`None` ⇒ all of B).
+    pub b_mask: Option<&'a [bool]>,
+    /// Simulated ns the cost model charged for this claim.
+    pub sim_ns: f64,
+}
+
+/// The full plan of one run, claims in *block order*: the order the
+/// pre-split code pushed its `RowBlock`s (all CPU claims, then all GPU
+/// claims, Phase II before Phase III within each device).
+#[derive(Debug, Clone, Default)]
+pub struct ClaimSchedule<'a> {
+    pub claims: Vec<ScheduledClaim<'a>>,
+}
+
+impl<'a> ClaimSchedule<'a> {
+    /// Total simulated ns charged to `device` across the schedule.
+    pub fn device_ns(&self, device: DeviceKind) -> f64 {
+        self.claims
+            .iter()
+            .filter(|c| c.device == device)
+            .map(|c| c.sim_ns)
+            .sum()
+    }
+}
+
+/// Stored-entry counts of the executed schedule: one entry per accumulator
+/// insertion, exactly the per-block nnz sums the pre-split code derived —
+/// these feed the Phase IV merge cost and the device→host transfer bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecCounts {
+    /// Stored entries produced by each claim, in schedule order.
+    pub per_claim: Vec<usize>,
+    /// Entries from CPU claims.
+    pub cpu_entries: usize,
+    /// Entries from GPU claims.
+    pub gpu_entries: usize,
+}
+
+impl ExecCounts {
+    fn from_per_claim(schedule: &ClaimSchedule<'_>, per_claim: Vec<usize>) -> Self {
+        let mut cpu_entries = 0;
+        let mut gpu_entries = 0;
+        for (claim, &n) in schedule.claims.iter().zip(&per_claim) {
+            match claim.device {
+                DeviceKind::Cpu => cpu_entries += n,
+                DeviceKind::Gpu => gpu_entries += n,
+            }
+        }
+        Self {
+            per_claim,
+            cpu_entries,
+            gpu_entries,
+        }
+    }
+}
+
+/// Run the numeric work of a recorded schedule and assemble the output
+/// CSR. Output bits and entry counts are identical for both policies and
+/// for any host thread count.
+pub fn execute<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    schedule: &ClaimSchedule<'_>,
+    shape: (usize, usize),
+    pool: &ThreadPool,
+    policy: ExecPolicy,
+) -> (CsrMatrix<T>, ExecCounts) {
+    match policy {
+        ExecPolicy::PerClaim => execute_per_claim(a, b, schedule, shape, pool),
+        ExecPolicy::Batched => execute_batched(a, b, schedule, shape, pool),
+    }
+}
+
+/// The pre-split shape: one `row_products` per claim, blocks combined by
+/// `concat_row_blocks`. Every intermediate this produces is what the old
+/// inline code produced, in the same order.
+fn execute_per_claim<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    schedule: &ClaimSchedule<'_>,
+    shape: (usize, usize),
+    pool: &ThreadPool,
+) -> (CsrMatrix<T>, ExecCounts) {
+    let blocks: Vec<RowBlock<T>> = schedule
+        .claims
+        .iter()
+        .map(|claim| row_products(a, b, claim.rows, claim.b_mask, pool))
+        .collect();
+    let per_claim: Vec<usize> = blocks.iter().map(RowBlock::nnz).collect();
+    let c = concat_row_blocks(&blocks, shape, pool);
+    (c, ExecCounts::from_per_claim(schedule, per_claim))
+}
+
+/// One guided symbolic pass + scan + one guided numeric pass over all
+/// claims at once; rows land directly in their final slots.
+fn execute_batched<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    schedule: &ClaimSchedule<'_>,
+    shape: (usize, usize),
+    pool: &ThreadPool,
+) -> (CsrMatrix<T>, ExecCounts) {
+    let (nrows, ncols) = shape;
+    let claims = &schedule.claims;
+
+    // Counting sort of (claim, row) by output row. Within one output row
+    // the sources stay in claim order — the per-claim path's block order,
+    // which fixes the floating-point merge order below.
+    let mut src_off = vec![0usize; nrows + 1];
+    for claim in claims {
+        for &r in claim.rows {
+            src_off[r + 1] += 1;
+        }
+    }
+    for r in 0..nrows {
+        src_off[r + 1] += src_off[r];
+    }
+    let mut src: Vec<u32> = vec![0; src_off[nrows]];
+    {
+        let mut cursor = src_off.clone();
+        for (ci, claim) in claims.iter().enumerate() {
+            for &r in claim.rows {
+                src[cursor[r]] = ci as u32;
+                cursor[r] += 1;
+            }
+        }
+    }
+
+    // Symbolic: distinct columns of each merged output row — the union
+    // over the row's sources, marked through one RowSizer. Integers, so
+    // equal to the per-claim sizes fed through the old per-row merge.
+    let mut sizes = vec![0u64; nrows];
+    {
+        let out = DisjointSlice::new(&mut sizes);
+        let src = &src;
+        let src_off = &src_off;
+        pool.for_each_guided_with(
+            nrows,
+            GUIDED_CHUNK,
+            || RowSizer::new(ncols),
+            |sizer, range| {
+                for r in range {
+                    let sources = &src[src_off[r]..src_off[r + 1]];
+                    if sources.is_empty() {
+                        // one writer per output row
+                        unsafe { out.write(r, 0) };
+                        continue;
+                    }
+                    let (acols, _) = a.row(r);
+                    for &ci in sources {
+                        let b_mask = claims[ci as usize].b_mask;
+                        for &j in acols {
+                            if let Some(mask) = b_mask {
+                                if !mask[j as usize] {
+                                    continue;
+                                }
+                            }
+                            for &c in b.row(j as usize).0 {
+                                sizer.mark(c);
+                            }
+                        }
+                    }
+                    unsafe { out.write(r, sizer.finish_row() as u64) };
+                }
+            },
+        );
+    }
+
+    let total = exclusive_scan(&mut sizes, pool) as usize;
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    indptr.extend(sizes.iter().map(|&s| s as usize));
+    indptr.push(total);
+
+    // Numeric: each output row is produced once, straight into its slot.
+    // Per-claim entry counts accumulate through relaxed atomics — integer
+    // sums over a fixed set of contributions, deterministic regardless of
+    // which thread adds when.
+    let per_claim: Vec<AtomicUsize> = claims.iter().map(|_| AtomicUsize::new(0)).collect();
+    let mut indices = vec![0 as ColIndex; total];
+    let mut values = vec![T::ZERO; total];
+    {
+        let out_idx = DisjointSlice::new(&mut indices);
+        let out_val = DisjointSlice::new(&mut values);
+        let src = &src;
+        let src_off = &src_off;
+        let indptr = &indptr;
+        let per_claim = &per_claim;
+        pool.for_each_guided_with(
+            nrows,
+            GUIDED_CHUNK,
+            || BatchScratch::<T>::new(ncols),
+            |scratch, range| {
+                for r in range {
+                    let sources = &src[src_off[r]..src_off[r + 1]];
+                    let mut at = indptr[r];
+                    match sources {
+                        [] => {}
+                        [ci] => {
+                            // sole producer of this row: the accumulator
+                            // drain *is* the final row (the per-claim path
+                            // drained into a block and bare-copied it)
+                            let claim = &claims[*ci as usize];
+                            scatter_row(a, b, r, claim.b_mask, &mut scratch.spa);
+                            per_claim[*ci as usize].fetch_add(scratch.spa.nnz(), Ordering::Relaxed);
+                            scratch.spa.drain_sorted(|c, v| {
+                                // rows own disjoint indptr ranges
+                                unsafe {
+                                    out_idx.write(at, c);
+                                    out_val.write(at, v);
+                                }
+                                at += 1;
+                            });
+                        }
+                        _ => {
+                            // complementary mask halves: materialise each
+                            // source run, then merge in claim order with
+                            // the exact summation of the per-row merge
+                            scratch.cols.clear();
+                            scratch.vals.clear();
+                            scratch.bounds.clear();
+                            scratch.bounds.push(0);
+                            for &ci in sources {
+                                let claim = &claims[ci as usize];
+                                scatter_row(a, b, r, claim.b_mask, &mut scratch.spa);
+                                per_claim[ci as usize]
+                                    .fetch_add(scratch.spa.nnz(), Ordering::Relaxed);
+                                let (cols, vals) = (&mut scratch.cols, &mut scratch.vals);
+                                scratch.spa.drain_sorted(|c, v| {
+                                    cols.push(c);
+                                    vals.push(v);
+                                });
+                                scratch.bounds.push(scratch.cols.len());
+                            }
+                            merge_scratch_runs(scratch, |c, v| {
+                                unsafe {
+                                    out_idx.write(at, c);
+                                    out_val.write(at, v);
+                                }
+                                at += 1;
+                            });
+                        }
+                    }
+                    debug_assert_eq!(at, indptr[r + 1]);
+                }
+            },
+        );
+    }
+
+    let per_claim: Vec<usize> = per_claim.into_iter().map(|n| n.into_inner()).collect();
+    let c = CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, indices, values);
+    (c, ExecCounts::from_per_claim(schedule, per_claim))
+}
+
+/// Per-thread scratch of the batched numeric pass: the sparse accumulator
+/// plus run storage for multi-source rows.
+struct BatchScratch<T> {
+    spa: SparseAccumulator<T>,
+    cols: Vec<ColIndex>,
+    vals: Vec<T>,
+    /// Run boundaries into `cols`/`vals`, one run per source.
+    bounds: Vec<usize>,
+}
+
+impl<T: Scalar> BatchScratch<T> {
+    fn new(ncols: usize) -> Self {
+        Self {
+            spa: SparseAccumulator::new(ncols),
+            cols: Vec::new(),
+            vals: Vec::new(),
+            bounds: Vec::new(),
+        }
+    }
+}
+
+/// Accumulate output row `r` of `a × b` under `b_mask` — the same scatter
+/// sequence the two-pass engine's numeric pass performs for this row.
+#[inline]
+fn scatter_row<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    r: usize,
+    b_mask: Option<&[bool]>,
+    spa: &mut SparseAccumulator<T>,
+) {
+    let (acols, avals) = a.row(r);
+    for (&j, &aij) in acols.iter().zip(avals) {
+        if let Some(mask) = b_mask {
+            if !mask[j as usize] {
+                continue;
+            }
+        }
+        let (bcols, bvals) = b.row(j as usize);
+        for (&c, &bjc) in bcols.iter().zip(bvals) {
+            spa.scatter(c, aij * bjc);
+        }
+    }
+}
+
+/// k-way merge of the scratch runs (each column-sorted), summing values of
+/// shared columns in run order: `sum = 0; sum += v_k` — byte-for-byte the
+/// accumulation of `concat_row_blocks`' per-row merge.
+fn merge_scratch_runs<T: Scalar, F: FnMut(ColIndex, T)>(
+    scratch: &mut BatchScratch<T>,
+    mut emit: F,
+) {
+    let k = scratch.bounds.len() - 1;
+    let mut pos: Vec<usize> = scratch.bounds[..k].to_vec();
+    loop {
+        let mut min: Option<ColIndex> = None;
+        for (s, &p) in pos.iter().enumerate() {
+            if p < scratch.bounds[s + 1] {
+                let c = scratch.cols[p];
+                min = Some(min.map_or(c, |m: ColIndex| m.min(c)));
+            }
+        }
+        let Some(col) = min else { break };
+        let mut sum = T::ZERO;
+        for (s, p) in pos.iter_mut().enumerate() {
+            if *p < scratch.bounds[s + 1] && scratch.cols[*p] == col {
+                sum += scratch.vals[*p];
+                *p += 1;
+            }
+        }
+        emit(col, sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmm_scalefree::{scale_free_matrix, GeneratorConfig};
+    use spmm_sparse::reference;
+
+    fn scale_free(n: usize, nnz: usize, seed: u64) -> CsrMatrix<f64> {
+        scale_free_matrix(&GeneratorConfig::square_power_law(n, nnz, 2.3, seed))
+    }
+
+    /// An hh_cpu-shaped schedule: every row in one phase-2 claim (A-side
+    /// mask half), low rows claimed again under the complementary B half.
+    fn hh_like_schedule<'a>(
+        rows_h: &'a [usize],
+        rows_l: &'a [usize],
+        b_high: &'a [bool],
+        b_low: &'a [bool],
+        pieces: &'a [std::ops::Range<usize>],
+    ) -> ClaimSchedule<'a> {
+        let mut claims = vec![
+            ScheduledClaim {
+                device: DeviceKind::Cpu,
+                rows: rows_h,
+                b_mask: Some(b_high),
+                sim_ns: 1.0,
+            },
+            ScheduledClaim {
+                device: DeviceKind::Gpu,
+                rows: rows_l,
+                b_mask: Some(b_low),
+                sim_ns: 1.0,
+            },
+        ];
+        for (i, p) in pieces.iter().enumerate() {
+            claims.push(ScheduledClaim {
+                device: if i % 2 == 0 {
+                    DeviceKind::Cpu
+                } else {
+                    DeviceKind::Gpu
+                },
+                rows: &rows_l[p.clone()],
+                b_mask: Some(b_high),
+                sim_ns: 1.0,
+            });
+        }
+        for (i, p) in pieces.iter().enumerate() {
+            claims.push(ScheduledClaim {
+                device: if i % 2 == 0 {
+                    DeviceKind::Gpu
+                } else {
+                    DeviceKind::Cpu
+                },
+                rows: &rows_h[p.start.min(rows_h.len())..p.end.min(rows_h.len())],
+                b_mask: Some(b_low),
+                sim_ns: 1.0,
+            });
+        }
+        ClaimSchedule { claims }
+    }
+
+    #[test]
+    fn batched_matches_per_claim_bitwise() {
+        let a = scale_free(400, 3_200, 5);
+        let t = a.mean_row_nnz().ceil() as usize;
+        let b_high: Vec<bool> = (0..a.nrows()).map(|i| a.row_nnz(i) >= t).collect();
+        let b_low: Vec<bool> = b_high.iter().map(|&h| !h).collect();
+        let rows_h = crate::kernels::rows_where(&b_high, true);
+        let rows_l = crate::kernels::rows_where(&b_high, false);
+        let pieces: Vec<std::ops::Range<usize>> = {
+            let mut v = Vec::new();
+            let mut lo = 0;
+            let mut g = 7;
+            while lo < rows_l.len() {
+                let hi = (lo + g).min(rows_l.len());
+                v.push(lo..hi);
+                lo = hi;
+                g = g * 2 + 1;
+            }
+            v
+        };
+        let schedule = hh_like_schedule(&rows_h, &rows_l, &b_high, &b_low, &pieces);
+        let shape = (a.nrows(), a.ncols());
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let (c_ref, n_ref) = execute(&a, &a, &schedule, shape, &pool, ExecPolicy::PerClaim);
+            let (c_bat, n_bat) = execute(&a, &a, &schedule, shape, &pool, ExecPolicy::Batched);
+            assert_eq!(c_ref, c_bat, "output diverged at {threads} threads");
+            assert_eq!(n_ref, n_bat, "counts diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn full_coverage_schedule_matches_reference_product() {
+        let a = scale_free(300, 2_100, 9);
+        let all: Vec<usize> = (0..a.nrows()).collect();
+        let schedule = ClaimSchedule {
+            claims: vec![ScheduledClaim {
+                device: DeviceKind::Cpu,
+                rows: &all,
+                b_mask: None,
+                sim_ns: 0.0,
+            }],
+        };
+        let pool = ThreadPool::new(4);
+        let (c, counts) = execute(
+            &a,
+            &a,
+            &schedule,
+            (a.nrows(), a.ncols()),
+            &pool,
+            ExecPolicy::Batched,
+        );
+        let expected = reference::spmm_rowrow(&a, &a).unwrap();
+        assert!(c.approx_eq(&expected, 1e-9, 1e-12));
+        assert_eq!(counts.cpu_entries, c.nnz());
+        assert_eq!(counts.gpu_entries, 0);
+    }
+
+    #[test]
+    fn empty_schedule_yields_zero_matrix() {
+        let a = scale_free(50, 250, 1);
+        let pool = ThreadPool::new(2);
+        let schedule = ClaimSchedule::default();
+        for policy in [ExecPolicy::Batched, ExecPolicy::PerClaim] {
+            let (c, counts) = execute(&a, &a, &schedule, (50, 50), &pool, policy);
+            assert_eq!(c.nnz(), 0);
+            assert_eq!(c.shape(), (50, 50));
+            assert!(counts.per_claim.is_empty());
+        }
+    }
+
+    #[test]
+    fn device_ns_sums_by_device() {
+        let rows = [0usize, 1];
+        let schedule = ClaimSchedule {
+            claims: vec![
+                ScheduledClaim {
+                    device: DeviceKind::Cpu,
+                    rows: &rows,
+                    b_mask: None,
+                    sim_ns: 2.5,
+                },
+                ScheduledClaim {
+                    device: DeviceKind::Gpu,
+                    rows: &rows,
+                    b_mask: None,
+                    sim_ns: 4.0,
+                },
+                ScheduledClaim {
+                    device: DeviceKind::Cpu,
+                    rows: &rows,
+                    b_mask: None,
+                    sim_ns: 1.5,
+                },
+            ],
+        };
+        assert_eq!(schedule.device_ns(DeviceKind::Cpu), 4.0);
+        assert_eq!(schedule.device_ns(DeviceKind::Gpu), 4.0);
+    }
+}

@@ -15,6 +15,8 @@
 //!   "analytical techniques to identify the threshold" as future work —
 //!   §VI; this policy is that extension).
 
+use spmm_hetsim::gpu::{masked_output_widths, masked_output_widths_for};
+use spmm_parallel::ThreadPool;
 use spmm_sparse::{CsrMatrix, RowHistogram, Scalar};
 
 use crate::context::HeteroContext;
@@ -66,6 +68,25 @@ impl Thresholds {
     }
 }
 
+/// Everything Phase I produced: the thresholds plus the symbolic row-size
+/// structures the search built along the way. The algorithm paths keep the
+/// structures — the Phase III grain calculation reads its means and nnz
+/// totals from these prefix sums instead of re-walking the CSR.
+#[derive(Debug, Clone)]
+pub struct Phase1Plan {
+    pub thresholds: Thresholds,
+    pub sym_a: SymbolicStructure,
+    /// `None` for the self-product `A × A` (one structure serves both).
+    pub sym_b: Option<SymbolicStructure>,
+}
+
+impl Phase1Plan {
+    /// The B-side structure (A's own for the self-product).
+    pub fn sym_b(&self) -> &SymbolicStructure {
+        self.sym_b.as_ref().unwrap_or(&self.sym_a)
+    }
+}
+
 /// Run Phase I: select thresholds per `policy` and classify every row of
 /// `a` and `b`.
 pub fn identify<T: Scalar>(
@@ -74,6 +95,25 @@ pub fn identify<T: Scalar>(
     b: &CsrMatrix<T>,
     policy: ThresholdPolicy,
 ) -> Thresholds {
+    identify_plan(ctx, a, b, policy).thresholds
+}
+
+/// [`identify`] returning the symbolic structures alongside the
+/// thresholds. Classification goes through [`SymbolicStructure::classify`]
+/// (the cached size array), which is definitionally identical to
+/// [`classify`] on the source matrix.
+pub fn identify_plan<T: Scalar>(
+    ctx: &HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    policy: ThresholdPolicy,
+) -> Phase1Plan {
+    let sym_a = SymbolicStructure::from_matrix(a);
+    let sym_b = if std::ptr::eq(a, b) {
+        None
+    } else {
+        Some(SymbolicStructure::from_matrix(b))
+    };
     let (t_a, t_b) = match policy {
         ThresholdPolicy::Fixed { t_a, t_b } => (t_a, t_b),
         ThresholdPolicy::Balanced { candidates } => {
@@ -90,15 +130,28 @@ pub fn identify<T: Scalar>(
             (t_a, t_b)
         }
         ThresholdPolicy::Empirical { candidates } => {
-            let t = empirical_threshold(ctx, a, b, candidates);
+            let t = empirical_threshold(
+                ctx,
+                a,
+                b,
+                candidates,
+                &sym_a,
+                sym_b.as_ref().unwrap_or(&sym_a),
+            );
             (t, t)
         }
     };
-    Thresholds {
-        t_a,
-        t_b,
-        a_high: classify(a, t_a),
-        b_high: classify(b, t_b),
+    let a_high = sym_a.classify(t_a);
+    let b_high = sym_b.as_ref().unwrap_or(&sym_a).classify(t_b);
+    Phase1Plan {
+        thresholds: Thresholds {
+            t_a,
+            t_b,
+            a_high,
+            b_high,
+        },
+        sym_a,
+        sym_b,
     }
 }
 
@@ -165,6 +218,11 @@ impl SymbolicStructure {
     /// Largest row size.
     pub fn max_row_nnz(&self) -> usize {
         self.sorted_sizes.last().copied().unwrap_or(0) as usize
+    }
+
+    /// nnz of row `i`, from the cached size array (no CSR access).
+    pub fn row_size(&self, i: usize) -> usize {
+        self.row_sizes[i] as usize
     }
 
     /// Index of the first sorted row with at least `max(t, 1)` nonzeros —
@@ -282,23 +340,16 @@ fn empirical_threshold<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     candidates: usize,
+    sym_a: &SymbolicStructure,
+    sym_b: &SymbolicStructure,
 ) -> usize {
-    let sym_a = SymbolicStructure::from_matrix(a);
-    let sym_b = if std::ptr::eq(a, b) {
-        None
-    } else {
-        Some(SymbolicStructure::from_matrix(b))
-    };
     // Log-spaced candidate ladder: the interesting thresholds live in the
     // distribution's tail, which row-count quantiles never reach. The
     // single shared `t` classifies *both* matrices, so for A ≠ B products
     // (the Figure 10 workload) the ladder must span whichever tail is
     // longer — building it from A alone would leave B's hub rows
     // unexplored.
-    let max_size = sym_b
-        .as_ref()
-        .map_or(sym_a.max_row_nnz(), |s| s.max_row_nnz())
-        .max(sym_a.max_row_nnz());
+    let max_size = sym_b.max_row_nnz().max(sym_a.max_row_nnz());
     let mut ladder: Vec<usize> = Vec::new();
     let mut t = 2usize;
     while t <= max_size {
@@ -316,9 +367,8 @@ fn empirical_threshold<T: Scalar>(
         }
     }
 
-    let sym_b_ref = sym_b.as_ref().unwrap_or(&sym_a);
     let totals = ctx.pool.par_map(ladder.len(), |k| {
-        let (p2, p3) = estimate_phases_with(ctx, a, b, ladder[k], &sym_a, sym_b_ref);
+        let (p2, p3) = estimate_phases_with(ctx, a, b, ladder[k], sym_a, sym_b);
         p2 + p3
     });
     let mut best = (f64::INFINITY, 1usize);
@@ -369,6 +419,12 @@ pub fn estimate_phases<T: Scalar>(
 /// nnz totals) is derived from `sym_a`/`sym_b` — `O(log n)` lookups plus
 /// one sweep of the cached size arrays — instead of re-scanning the CSR
 /// per candidate. Pass the same structure twice for the self-product.
+///
+/// GPU claims are costed through [`GpuDevice::spmm_cost_planned`] against
+/// width tables built once per mask (bit-identical ns; the candidate's
+/// O(flops) stamp walks collapse into one integer precompute). The tables
+/// are built serially — this function runs inside the candidate-parallel
+/// `par_map` workers, which must not nest pools.
 pub fn estimate_phases_with<T: Scalar>(
     ctx: &HeteroContext,
     a: &CsrMatrix<T>,
@@ -383,10 +439,18 @@ pub fn estimate_phases_with<T: Scalar>(
     let hd_b = sym_b.hd_rows(t);
     let ld_b = b.nrows() - hd_b;
 
+    let serial = ThreadPool::new(1);
+    // Widths under B_L serve both the Phase II product (A_L rows) and the
+    // GPU's A_H × B_L claims — together every A row, so build eagerly. The
+    // B_H table only matters if the GPU drains the CPU's queue end, and
+    // then only for A_L rows — build lazily, restricted to that quadrant.
+    let w_low = masked_output_widths(a, b, Some(&b_low), &serial);
+    let mut w_high: Option<Vec<u32>> = None;
+
     let mut cpu = spmm_hetsim::CpuDevice::new(ctx.platform.cpu);
     let mut gpu = spmm_hetsim::GpuDevice::new(ctx.platform.gpu);
     let c2 = cpu.spmm_cost_blocked(a, b, rows_h.iter().copied(), Some(&b_high));
-    let g2 = gpu.spmm_cost(a, b, rows_l.iter().copied(), Some(&b_low));
+    let g2 = gpu.spmm_cost_planned(a, b, rows_l.iter().copied(), Some(&b_low), &w_low);
 
     // Phase III dry run over the same two-queue, nnz-budgeted discipline
     // as `hh_cpu`. The means and nnz totals are integer sums over fixed row
@@ -449,7 +513,14 @@ pub fn estimate_phases_with<T: Scalar>(
                 lh_blocked_total * piece_nnz / lh_nnz.max(1.0)
             };
         } else {
-            gpu_clock += gpu.spmm_cost(a, b, rows.iter().copied(), Some(mask));
+            gpu_clock += if high {
+                gpu.spmm_cost_planned(a, b, rows.iter().copied(), Some(mask), &w_low)
+            } else {
+                let w = w_high.get_or_insert_with(|| {
+                    masked_output_widths_for(a, b, Some(&b_high), &rows_l, &serial)
+                });
+                gpu.spmm_cost_planned(a, b, rows.iter().copied(), Some(mask), w)
+            };
         }
     }
     (c2.max(g2), cpu_clock.max(gpu_clock))

@@ -19,13 +19,13 @@ pub use crate::units::WorkUnitConfig;
 
 use spmm_sparse::{CsrMatrix, Scalar};
 
-use spmm_hetsim::{PhaseBreakdown, PhaseTimes};
+use spmm_hetsim::gpu::masked_output_widths;
+use spmm_hetsim::{DeviceKind, PhaseBreakdown, PhaseTimes};
 use spmm_workqueue::{End, RangeQueue};
 
 use crate::context::HeteroContext;
-use crate::kernels::{row_products, RowBlock};
-use crate::merge::concat_row_blocks;
 use crate::result::SpmmOutput;
+use crate::schedule::{self, ClaimSchedule, ExecPolicy, ScheduledClaim};
 
 /// Algorithm Unsorted-Workqueue: double-ended dynamic balancing over the
 /// natural row order.
@@ -35,8 +35,19 @@ pub fn unsorted_workqueue<T: Scalar>(
     b: &CsrMatrix<T>,
     units: WorkUnitConfig,
 ) -> SpmmOutput<T> {
+    unsorted_workqueue_with(ctx, a, b, units, ExecPolicy::default())
+}
+
+/// [`unsorted_workqueue`] with an explicit executor policy.
+pub fn unsorted_workqueue_with<T: Scalar>(
+    ctx: &mut HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    units: WorkUnitConfig,
+    exec: ExecPolicy,
+) -> SpmmOutput<T> {
     let order: Vec<usize> = (0..a.nrows()).collect();
-    workqueue_over_order(ctx, a, b, units, order)
+    workqueue_over_order(ctx, a, b, units, order, exec)
 }
 
 /// Algorithm Sorted-Workqueue: rows sorted ascending by size before
@@ -51,19 +62,33 @@ pub fn sorted_workqueue<T: Scalar>(
     b: &CsrMatrix<T>,
     units: WorkUnitConfig,
 ) -> SpmmOutput<T> {
+    sorted_workqueue_with(ctx, a, b, units, ExecPolicy::default())
+}
+
+/// [`sorted_workqueue`] with an explicit executor policy.
+pub fn sorted_workqueue_with<T: Scalar>(
+    ctx: &mut HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    units: WorkUnitConfig,
+    exec: ExecPolicy,
+) -> SpmmOutput<T> {
     let mut order: Vec<usize> = (0..a.nrows()).collect();
     order.sort_by_key(|&i| a.row_nnz(i));
-    workqueue_over_order(ctx, a, b, units, order)
+    workqueue_over_order(ctx, a, b, units, order, exec)
 }
 
 /// Shared engine: event-driven double-ended claiming of `order` chunks,
-/// CPU from the front, GPU from the back.
+/// CPU from the front, GPU from the back. The claim loop only *plans* —
+/// it records each claim's rows and simulated cost — and the numeric work
+/// runs afterwards in one batched pass over the recorded schedule.
 fn workqueue_over_order<T: Scalar>(
     ctx: &mut HeteroContext,
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     units: WorkUnitConfig,
     order: Vec<usize>,
+    exec: ExecPolicy,
 ) -> SpmmOutput<T> {
     assert_eq!(
         a.ncols(),
@@ -78,11 +103,16 @@ fn workqueue_over_order<T: Scalar>(
     };
     let transfer_ns = ctx.link.transfer_ns(upload);
 
+    // GPU claims are costed against memoized masked output widths — the
+    // unmasked table covers every row once, instead of re-walking the
+    // stamp array per claim.
+    let w_full = masked_output_widths(a, b, None, &ctx.pool);
+
     let queue = RangeQueue::new(order.len());
     let mut cpu_clock = 0.0f64;
     let mut gpu_clock = 0.0f64;
-    let mut cpu_blocks: Vec<RowBlock<T>> = Vec::new();
-    let mut gpu_blocks: Vec<RowBlock<T>> = Vec::new();
+    let mut cpu_claims: Vec<ScheduledClaim<'_>> = Vec::new();
+    let mut gpu_claims: Vec<ScheduledClaim<'_>> = Vec::new();
     loop {
         let cpu_turn = cpu_clock <= gpu_clock;
         let (end, grain) = if cpu_turn {
@@ -95,25 +125,44 @@ fn workqueue_over_order<T: Scalar>(
         };
         let rows = &order[range];
         if cpu_turn {
-            cpu_clock += ctx.cpu.spmm_cost(a, b, rows.iter().copied(), None);
-            cpu_blocks.push(row_products(a, b, rows, None, &ctx.pool));
+            let ns = ctx.cpu.spmm_cost(a, b, rows.iter().copied(), None);
+            cpu_clock += ns;
+            cpu_claims.push(ScheduledClaim {
+                device: DeviceKind::Cpu,
+                rows,
+                b_mask: None,
+                sim_ns: ns,
+            });
         } else {
-            gpu_clock += ctx.gpu.spmm_cost(a, b, rows.iter().copied(), None);
-            gpu_blocks.push(row_products(a, b, rows, None, &ctx.pool));
+            let ns = ctx
+                .gpu
+                .spmm_cost_planned(a, b, rows.iter().copied(), None, &w_full);
+            gpu_clock += ns;
+            gpu_claims.push(ScheduledClaim {
+                device: DeviceKind::Gpu,
+                rows,
+                b_mask: None,
+                sim_ns: ns,
+            });
         }
     }
     let compute = PhaseTimes::new(cpu_clock, gpu_clock);
 
-    let gpu_count: usize = gpu_blocks.iter().map(RowBlock::nnz).sum();
-    let cpu_count: usize = cpu_blocks.iter().map(RowBlock::nnz).sum();
+    // Execute in block order: CPU claims first, then GPU claims — the order
+    // the pre-split code concatenated its RowBlocks.
+    let mut claims = cpu_claims;
+    claims.append(&mut gpu_claims);
+    let sched = ClaimSchedule { claims };
+    let (c, counts) = schedule::execute(a, b, &sched, (a.nrows(), b.ncols()), &ctx.pool, exec);
+
+    let gpu_count = counts.gpu_entries;
+    let cpu_count = counts.cpu_entries;
     let transfer_ns = transfer_ns + ctx.link.transfer_ns(gpu_count * 16);
     let tuples_merged = cpu_count + gpu_count;
     let merge = PhaseTimes::new(
         ctx.cpu.merge_cost(tuples_merged),
         ctx.gpu.merge_cost(gpu_count),
     );
-    cpu_blocks.append(&mut gpu_blocks);
-    let c = concat_row_blocks(&cpu_blocks, (a.nrows(), b.ncols()), &ctx.pool);
 
     SpmmOutput {
         c,

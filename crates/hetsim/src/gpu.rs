@@ -1,7 +1,8 @@
 //! GPU device model: warp-per-row cost for the row-row spmm kernel of
 //! [13] as described in the paper's §II-A-b.
 
-use spmm_cache::{Cache, CacheConfig};
+use spmm_cache::{Cache, CacheConfig, CacheStats};
+use spmm_parallel::{DisjointSlice, ThreadPool};
 use spmm_sparse::{CsrMatrix, Scalar};
 
 use crate::platform::GpuSpec;
@@ -57,6 +58,14 @@ impl GpuDevice {
         }
     }
 
+    /// Device with the stamp scratch pre-sized for products whose B matrix
+    /// has up to `ncols` columns, so the hot cost call never reallocates.
+    pub fn sized(spec: GpuSpec, ncols: usize) -> Self {
+        let mut dev = Self::new(spec);
+        dev.reserve_columns(ncols);
+        dev
+    }
+
     /// The paper's Tesla K20c.
     pub fn paper() -> Self {
         Self::new(GpuSpec::k20c())
@@ -76,11 +85,26 @@ impl GpuDevice {
         &self.spec
     }
 
-    /// Forget all cached state (between independent experiments).
+    /// Snapshot of the simulated L2's hit/miss counters.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Grow the stamp scratch to cover `ncols` output columns. Callers that
+    /// know the matrix shape up front use this (or [`GpuDevice::sized`]) to
+    /// keep the allocation out of `spmm_cost`.
+    pub fn reserve_columns(&mut self, ncols: usize) {
+        if self.stamp.len() < ncols {
+            self.stamp.resize(ncols, u32::MAX);
+        }
+    }
+
+    /// Forget all cached state (between independent experiments). The stamp
+    /// scratch needs no rewrite: entries are generation-counted, and a
+    /// stale value can only collide with a future generation after a full
+    /// `u32` wrap, which the per-row bump guard clears first.
     pub fn reset(&mut self) {
         self.l2.flush();
-        self.stamp.iter_mut().for_each(|s| *s = u32::MAX);
-        self.stamp_gen = 0;
     }
 
     /// Simulated ns for the GPU to multiply the given rows of `a` against
@@ -93,6 +117,34 @@ impl GpuDevice {
         rows: impl Iterator<Item = usize>,
         b_mask: Option<&[bool]>,
     ) -> SimNs {
+        self.spmm_cost_inner(a, b, rows, b_mask, None)
+    }
+
+    /// [`GpuDevice::spmm_cost`] with the per-row masked output widths
+    /// supplied by a [`masked_output_widths`] table instead of re-derived
+    /// through the stamp scratch. The width only feeds the integer TR_b
+    /// pass count, so every floating-point charge accumulates in the same
+    /// order and the result is bit-identical to the unplanned call — while
+    /// the O(flops) distinct-column walk drops to an O(1) lookup per row.
+    pub fn spmm_cost_planned<T: Scalar>(
+        &mut self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        rows: impl Iterator<Item = usize>,
+        b_mask: Option<&[bool]>,
+        widths: &[u32],
+    ) -> SimNs {
+        self.spmm_cost_inner(a, b, rows, b_mask, Some(widths))
+    }
+
+    fn spmm_cost_inner<T: Scalar>(
+        &mut self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        rows: impl Iterator<Item = usize>,
+        b_mask: Option<&[bool]>,
+        widths: Option<&[u32]>,
+    ) -> SimNs {
         // Greedy warp scheduling: W warps drain the row list, so the wall
         // time is the list-scheduling makespan — at least total/W and at
         // least the *serial depth* of the longest row. A warp's 32 lanes
@@ -103,8 +155,8 @@ impl GpuDevice {
         let mut max_row_depth = 0.0f64;
         let mut any = false;
         let b_indptr = b.indptr();
-        if self.stamp.len() < b.ncols() {
-            self.stamp.resize(b.ncols(), u32::MAX);
+        if widths.is_none() {
+            self.reserve_columns(b.ncols());
         }
         for i in rows {
             any = true;
@@ -112,10 +164,12 @@ impl GpuDevice {
             if acols.is_empty() {
                 continue;
             }
-            self.stamp_gen = self.stamp_gen.wrapping_add(1);
-            if self.stamp_gen == u32::MAX {
-                self.stamp.iter_mut().for_each(|s| *s = u32::MAX);
-                self.stamp_gen = 0;
+            if widths.is_none() {
+                self.stamp_gen = self.stamp_gen.wrapping_add(1);
+                if self.stamp_gen == u32::MAX {
+                    self.stamp.iter_mut().for_each(|s| *s = u32::MAX);
+                    self.stamp_gen = 0;
+                }
             }
             let mut row_cycles = 0.0f64;
             // A-row segment reads
@@ -124,7 +178,9 @@ impl GpuDevice {
                 acols.len() * ENTRY_BYTES,
             );
             row_cycles += a_read;
-            let mut width = 0usize; // exact nnz of the output row
+            // exact nnz of the output row: from the plan table when given,
+            // otherwise counted live through the stamp scratch below
+            let mut width = widths.map_or(0usize, |w| w[i] as usize);
             let mut nj = 0usize; // B rows actually multiplied
             let mut rescan_cycles = 0.0f64; // per-pass B index re-scan cost
             for &j in acols {
@@ -139,11 +195,13 @@ impl GpuDevice {
                     continue;
                 }
                 nj += 1;
-                for &c in b.row(j).0 {
-                    let slot = &mut self.stamp[c as usize];
-                    if *slot != self.stamp_gen {
-                        *slot = self.stamp_gen;
-                        width += 1;
+                if widths.is_none() {
+                    for &c in b.row(j).0 {
+                        let slot = &mut self.stamp[c as usize];
+                        if *slot != self.stamp_gen {
+                            *slot = self.stamp_gen;
+                            width += 1;
+                        }
                     }
                 }
                 // B-row segment reads through the L2
@@ -301,6 +359,85 @@ impl GpuDevice {
             * 32.0 // lockstep inefficiency on scattered keys
             + self.spec.launch_ns
     }
+}
+
+/// Masked output width (distinct column count) of every row of `a × b`,
+/// with masked-off B rows contributing nothing — exactly the `width`
+/// [`GpuDevice::spmm_cost`] derives per row through its stamp scratch, but
+/// computed once per `(a, b, mask)` and fanned out across the host pool.
+/// Pure integer work, so the table is identical for any thread count, and
+/// [`GpuDevice::spmm_cost_planned`] stays bit-equal to the unplanned call.
+pub fn masked_output_widths<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+) -> Vec<u32> {
+    widths_impl(a, b, b_mask, None, pool)
+}
+
+/// [`masked_output_widths`] restricted to the listed A rows — the returned
+/// table still has one slot per A row (unlisted rows stay 0), so lookups
+/// stay indexed by row. Use when only a known subset of rows can ever be
+/// costed under this mask (e.g. the `A_L × B_H` quadrant).
+pub fn masked_output_widths_for<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    b_mask: Option<&[bool]>,
+    rows: &[usize],
+    pool: &ThreadPool,
+) -> Vec<u32> {
+    widths_impl(a, b, b_mask, Some(rows), pool)
+}
+
+fn widths_impl<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    b_mask: Option<&[bool]>,
+    rows: Option<&[usize]>,
+    pool: &ThreadPool,
+) -> Vec<u32> {
+    let len = rows.map_or(a.nrows(), <[usize]>::len);
+    let mut widths = vec![0u32; a.nrows()];
+    let out = DisjointSlice::new(&mut widths);
+    pool.for_each_guided_with(
+        len,
+        64,
+        || (vec![u32::MAX; b.ncols()], 0u32),
+        |(stamp, gen), range| {
+            for k in range {
+                let i = rows.map_or(k, |r| r[k]);
+                let (acols, _) = a.row(i);
+                if acols.is_empty() {
+                    continue;
+                }
+                *gen = gen.wrapping_add(1);
+                if *gen == u32::MAX {
+                    stamp.iter_mut().for_each(|s| *s = u32::MAX);
+                    *gen = 0;
+                }
+                let mut width = 0u32;
+                for &j in acols {
+                    let j = j as usize;
+                    if let Some(mask) = b_mask {
+                        if !mask[j] {
+                            continue;
+                        }
+                    }
+                    for &c in b.row(j).0 {
+                        let slot = &mut stamp[c as usize];
+                        if *slot != *gen {
+                            *slot = *gen;
+                            width += 1;
+                        }
+                    }
+                }
+                // each row written by at most one claimant (rows unique)
+                unsafe { out.write(i, width) };
+            }
+        },
+    );
+    widths
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! Pin the planned GPU cost path (`spmm_cost_planned` over a precomputed
+//! `masked_output_widths` table) bit-equal to the live stamp-walk path, in
+//! both simulated ns and L2 stats — the stream-equivalence-style contract
+//! that lets Phase-II costing, Phase-III claims, and empirical-ladder
+//! candidates all share one width table per `(matrix, mask)`.
+
+use spmm_hetsim::gpu::masked_output_widths;
+use spmm_hetsim::{GpuDevice, GpuSpec};
+use spmm_parallel::ThreadPool;
+use spmm_scalefree::{scale_free_matrix, GeneratorConfig};
+use spmm_sparse::CsrMatrix;
+
+fn scale_free(n: usize, nnz: usize, seed: u64) -> CsrMatrix<f64> {
+    scale_free_matrix(&GeneratorConfig::square_power_law(n, nnz, 2.2, seed))
+}
+
+fn half_mask(n: usize, seed: u64) -> Vec<bool> {
+    // deterministic mix of high/low rows, roughly half set
+    (0..n)
+        .map(|i| !(i.wrapping_mul(2654435761) ^ seed as usize).is_multiple_of(3))
+        .collect()
+}
+
+/// Every (rows, mask) shape the algorithm paths use: full product,
+/// masked halves, scattered claim ranges.
+fn cases(n: usize) -> Vec<(Vec<usize>, Option<Vec<bool>>)> {
+    let all: Vec<usize> = (0..n).collect();
+    let front: Vec<usize> = (0..n / 3).collect();
+    let scattered: Vec<usize> = (0..n).step_by(7).collect();
+    vec![
+        (all.clone(), None),
+        (all, Some(half_mask(n, 1))),
+        (front, Some(half_mask(n, 2))),
+        (scattered, Some(half_mask(n, 3))),
+        (Vec::new(), None),
+    ]
+}
+
+#[test]
+fn planned_cost_bit_equal_to_stamp_walk() {
+    let n = 600;
+    let a = scale_free(n, 6_000, 11);
+    let b = scale_free(n, 5_000, 13);
+    let pool = ThreadPool::new(4);
+    for (rows, mask) in cases(n) {
+        let mask_ref = mask.as_deref();
+        let mut live = GpuDevice::paper();
+        let live_ns = live.spmm_cost(&a, &b, rows.iter().copied(), mask_ref);
+
+        let widths = masked_output_widths(&a, &b, mask_ref, &pool);
+        let mut planned = GpuDevice::paper();
+        let planned_ns = planned.spmm_cost_planned(&a, &b, rows.iter().copied(), mask_ref, &widths);
+
+        assert_eq!(
+            live_ns.to_bits(),
+            planned_ns.to_bits(),
+            "planned ns must be bit-identical (rows={}, masked={})",
+            rows.len(),
+            mask.is_some()
+        );
+        assert_eq!(live.l2_stats(), planned.l2_stats(), "L2 traffic must match");
+    }
+}
+
+#[test]
+fn planned_cost_matches_across_sequential_calls() {
+    // The workqueue paths issue many claims against one device; the L2 is
+    // stateful, so the equivalence must hold claim-by-claim, not just for
+    // one call on a fresh device.
+    let n = 400;
+    let a = scale_free(n, 4_000, 7);
+    let mask = half_mask(n, 5);
+    let pool = ThreadPool::new(3);
+    let widths = masked_output_widths(&a, &a, Some(&mask), &pool);
+
+    let mut live = GpuDevice::paper();
+    let mut planned = GpuDevice::paper();
+    let mut lo = 0usize;
+    let mut grain = 3usize;
+    while lo < n {
+        let hi = (lo + grain).min(n);
+        let l = live.spmm_cost(&a, &a, lo..hi, Some(&mask));
+        let p = planned.spmm_cost_planned(&a, &a, lo..hi, Some(&mask), &widths);
+        assert_eq!(l.to_bits(), p.to_bits(), "claim {lo}..{hi} diverged");
+        lo = hi;
+        grain = grain * 2 + 1;
+    }
+    assert_eq!(live.l2_stats(), planned.l2_stats());
+}
+
+#[test]
+fn reset_device_agrees_with_fresh_device() {
+    // reset() is now a generation bump (L2 flush only, no stamp rewrite):
+    // a reused device must cost identically to a newly constructed one.
+    let n = 500;
+    let a = scale_free(n, 5_000, 3);
+    let mask = half_mask(n, 9);
+
+    let mut reused = GpuDevice::paper();
+    reused.spmm_cost(&a, &a, 0..n, None); // dirty the stamp + L2
+    reused.reset();
+    let reused_ns = reused.spmm_cost(&a, &a, 0..n, Some(&mask));
+
+    let mut fresh = GpuDevice::paper();
+    let fresh_ns = fresh.spmm_cost(&a, &a, 0..n, Some(&mask));
+
+    assert_eq!(reused_ns.to_bits(), fresh_ns.to_bits());
+}
+
+#[test]
+fn sized_device_agrees_with_lazy_device() {
+    let n = 300;
+    let a = scale_free(n, 3_000, 17);
+    let mut sized = GpuDevice::sized(GpuSpec::k20c(), n);
+    let mut lazy = GpuDevice::paper();
+    let s = sized.spmm_cost(&a, &a, 0..n, None);
+    let l = lazy.spmm_cost(&a, &a, 0..n, None);
+    assert_eq!(s.to_bits(), l.to_bits());
+}
+
+#[test]
+fn width_table_invariant_over_thread_count() {
+    let n = 700;
+    let a = scale_free(n, 8_000, 23);
+    let b = scale_free(n, 6_000, 29);
+    let mask = half_mask(n, 4);
+    let reference = masked_output_widths(&a, &b, Some(&mask), &ThreadPool::new(1));
+    for threads in [2, 4, 8] {
+        let t = masked_output_widths(&a, &b, Some(&mask), &ThreadPool::new(threads));
+        assert_eq!(reference, t, "width table changed at {threads} threads");
+    }
+    // and the unmasked table dominates any masked one
+    let full = masked_output_widths(&a, &b, None, &ThreadPool::new(4));
+    for (f, m) in full.iter().zip(&reference) {
+        assert!(f >= m);
+    }
+}

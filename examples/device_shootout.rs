@@ -88,9 +88,10 @@ fn main() {
 
     let engine = smoke_perf();
     let phase1 = phase1_perf();
+    let exec = exec_perf();
 
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_pr.json".into());
-    let json = format!("{{\n{engine},\n{phase1}\n}}\n");
+    let json = format!("{{\n{engine},\n{phase1},\n{exec}\n}}\n");
     std::fs::write(&path, json).expect("write smoke-perf artifact");
     println!("wrote {path}");
 }
@@ -289,6 +290,81 @@ fn phase1_perf() -> String {
          \"phase1_speedup\": {:.4},\n  \
          \"phase1_matrices\": [\n{}\n  ]",
         serial_total / parallel_total,
+        rows.join(",\n"),
+    )
+}
+
+/// Time end-to-end `hh_cpu` — Phase I through the merge — with the
+/// per-claim reference executor vs the batched plan/execute path on every
+/// Table I clone, and fail hard if the batched product or its simulated
+/// profile deviates by a single bit. Returns the JSON fragment for the CI
+/// artifact.
+fn exec_perf() -> String {
+    let threads = 8;
+    let reps = 2;
+    let serial_cfg = HhCpuConfig {
+        exec: ExecPolicy::PerClaim,
+        ..HhCpuConfig::default()
+    };
+    let batched_cfg = HhCpuConfig::default();
+
+    println!("\nexec-perf: hh_cpu end to end, per-claim vs batched executor ({threads} host threads, best of {reps}):");
+    let mut rows = Vec::new();
+    let (mut serial_total, mut batched_total) = (0.0f64, 0.0f64);
+    for d in Dataset::all() {
+        let name = d.entry().name;
+        let a = d.load::<f64>(32);
+        let mut ctx = HeteroContext::scaled(d.effective_scale(32)).with_host_threads(threads);
+
+        // correctness gate before timing: the batched executor must
+        // reproduce the per-claim run exactly
+        let want = hh_cpu(&mut ctx, &a, &a, &serial_cfg);
+        let got = hh_cpu(&mut ctx, &a, &a, &batched_cfg);
+        assert_eq!(got.c, want.c, "{name}: batched executor changed C");
+        assert_eq!(
+            got.profile, want.profile,
+            "{name}: batched executor changed the simulated profile"
+        );
+        assert_eq!(
+            got.tuples_merged, want.tuples_merged,
+            "{name}: batched executor changed tuples_merged"
+        );
+
+        let (mut serial_ms, mut batched_ms) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(hh_cpu(&mut ctx, &a, &a, &serial_cfg));
+            serial_ms = serial_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+            let t0 = Instant::now();
+            std::hint::black_box(hh_cpu(&mut ctx, &a, &a, &batched_cfg));
+            batched_ms = batched_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        println!(
+            "  {name:<14} serial {serial_ms:>8.2} ms | batched {batched_ms:>8.2} ms | {:.2}x",
+            serial_ms / batched_ms
+        );
+        serial_total += serial_ms;
+        batched_total += batched_ms;
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"exec_serial_ms\": {serial_ms:.4}, \
+             \"exec_batched_ms\": {batched_ms:.4}, \"exec_speedup\": {:.4}}}",
+            serial_ms / batched_ms
+        ));
+    }
+    println!(
+        "  exec total: serial {serial_total:.2} ms | batched {batched_total:.2} ms | {:.2}x \
+         (speedup needs a multi-core runner)",
+        serial_total / batched_total
+    );
+
+    format!(
+        "  \"exec_host_threads\": {threads},\n  \
+         \"exec_serial_ms\": {serial_total:.4},\n  \
+         \"exec_batched_ms\": {batched_total:.4},\n  \
+         \"exec_speedup\": {:.4},\n  \
+         \"exec_matrices\": [\n{}\n  ]",
+        serial_total / batched_total,
         rows.join(",\n"),
     )
 }

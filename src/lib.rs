@@ -59,7 +59,8 @@ pub use spmm_workqueue as workqueue;
 pub mod prelude {
     pub use spmm_core::{
         csrmm::{cpu_csrmm, gpu_csrmm, hh_csrmm},
-        cusparse_like, hh_cpu, hipc2012, mkl_like, sorted_workqueue, unsorted_workqueue,
+        cusparse_like, hh_cpu, hipc2012, hipc2012_with, mkl_like, sorted_workqueue,
+        sorted_workqueue_with, unsorted_workqueue, unsorted_workqueue_with, ExecPolicy,
         HeteroContext, HhCpuConfig, PhaseBreakdown, Platform, SpmmOutput, ThresholdPolicy,
         WorkUnitConfig,
     };
