@@ -2,6 +2,7 @@
 
 use spmm_hetsim::{CpuDevice, GpuDevice, PciLink, Platform};
 use spmm_parallel::ThreadPool;
+use spmm_sparse::WorkspacePool;
 
 /// Bytes per CSR entry / GPU memory segment, mirrored from the device
 /// models for the analytic estimates.
@@ -9,8 +10,11 @@ const ENTRY_BYTES: f64 = 12.0;
 const SEGMENT_BYTES: f64 = 128.0;
 
 /// Everything an algorithm run needs: the two simulated devices (stateful —
-/// they carry cache contents), the PCIe link, and a host thread pool for
-/// the *real* numeric work.
+/// they carry cache contents), the PCIe link, a host thread pool for the
+/// *real* numeric work, and a pool of per-thread engine workspaces so the
+/// O(ncols) accumulator state is allocated once and generation-reused
+/// across all four masked products, every Phase-I ladder candidate, and
+/// repeated multiplies.
 #[derive(Debug)]
 pub struct HeteroContext {
     pub platform: Platform,
@@ -18,6 +22,7 @@ pub struct HeteroContext {
     pub gpu: GpuDevice,
     pub link: PciLink,
     pub pool: ThreadPool,
+    pub workspaces: WorkspacePool,
 }
 
 impl HeteroContext {
@@ -34,6 +39,7 @@ impl HeteroContext {
             gpu: GpuDevice::new(platform.gpu),
             link: PciLink::new(platform.link),
             pool: ThreadPool::host(),
+            workspaces: WorkspacePool::new(),
         }
     }
 
@@ -54,7 +60,10 @@ impl HeteroContext {
     }
 
     /// Flush both devices' cache state so the next run starts cold — call
-    /// between independent measurements.
+    /// between independent measurements. The workspace pool is deliberately
+    /// *not* cleared: its arrays are generation-stamped (contents never leak
+    /// between rows or runs), and keeping them warm across runs is the
+    /// pool's entire point.
     pub fn reset(&mut self) {
         self.cpu.reset();
         self.gpu.reset();

@@ -1,15 +1,15 @@
 //! Algorithm HH-CPU (the paper's Algorithm 1).
 
-use spmm_sparse::{CsrMatrix, Scalar};
+use spmm_sparse::{AccumStrategy, CsrMatrix, Scalar};
 
-use spmm_hetsim::gpu::{masked_output_widths, masked_output_widths_for};
+use spmm_hetsim::gpu::{masked_output_widths_for_pooled, masked_output_widths_pooled};
 use spmm_hetsim::{DeviceKind, PhaseBreakdown, PhaseTimes};
 use spmm_workqueue::{End, RangeQueue};
 
 use crate::context::HeteroContext;
 use crate::kernels::rows_where;
 use crate::result::SpmmOutput;
-use crate::schedule::{self, ClaimSchedule, ExecPolicy, ScheduledClaim};
+use crate::schedule::{self, ClaimSchedule, ExecConfig, ExecPolicy, ScheduledClaim};
 use crate::threshold::{self, ThresholdPolicy};
 use crate::units::WorkUnitConfig;
 
@@ -23,6 +23,9 @@ pub struct HhCpuConfig {
     pub units: Option<WorkUnitConfig>,
     /// Which executor runs the scheduled numeric work.
     pub exec: ExecPolicy,
+    /// Which accumulator backs the executor's numeric rows (adaptive
+    /// row-binned by default; `FixedSpa` is the A/B baseline).
+    pub accum: AccumStrategy,
 }
 
 impl HhCpuConfig {
@@ -90,7 +93,7 @@ pub fn hh_cpu<T: Scalar>(
     // rows together — so it is built eagerly across the host pool. The B_H
     // table only matters if the GPU drains the CPU's queue end, and then
     // only for A_L rows, so it is built lazily and restricted.
-    let w_low = masked_output_widths(a, b, Some(&b_low), &ctx.pool);
+    let w_low = masked_output_widths_pooled(a, b, Some(&b_low), &ctx.pool, &ctx.workspaces);
     let mut w_high: Option<Vec<u32>> = None;
 
     // ---- Phase II: A_H × B_H on CPU ∥ A_L × B_L on GPU. The CPU side
@@ -212,7 +215,14 @@ pub fn hh_cpu<T: Scalar>(
                     .spmm_cost_planned(a, b, rows.iter().copied(), Some(b_mask), &w_low)
             } else {
                 let w = w_high.get_or_insert_with(|| {
-                    masked_output_widths_for(a, b, Some(&th.b_high), &rows_al, &ctx.pool)
+                    masked_output_widths_for_pooled(
+                        a,
+                        b,
+                        Some(&th.b_high),
+                        &rows_al,
+                        &ctx.pool,
+                        &ctx.workspaces,
+                    )
                 });
                 ctx.gpu
                     .spmm_cost_planned(a, b, rows.iter().copied(), Some(b_mask), w)
@@ -249,8 +259,18 @@ pub fn hh_cpu<T: Scalar>(
     });
     claims.extend(gpu_claims);
     let sched = ClaimSchedule { claims };
-    let (c, counts) =
-        schedule::execute(a, b, &sched, (a.nrows(), b.ncols()), &ctx.pool, config.exec);
+    let (c, counts) = schedule::execute(
+        a,
+        b,
+        &sched,
+        (a.nrows(), b.ncols()),
+        &ctx.pool,
+        &ctx.workspaces,
+        ExecConfig {
+            policy: config.exec,
+            accum: config.accum,
+        },
+    );
 
     // ---- Phase IV: merge. The GPU pre-merges its own tuples while the CPU
     // performs the full combine (results are "merged together and stored on

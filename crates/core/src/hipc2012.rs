@@ -9,12 +9,12 @@
 
 use spmm_sparse::{CsrMatrix, Scalar};
 
-use spmm_hetsim::gpu::masked_output_widths_for;
+use spmm_hetsim::gpu::masked_output_widths_for_pooled;
 use spmm_hetsim::{DeviceKind, PhaseBreakdown, PhaseTimes};
 
 use crate::context::HeteroContext;
 use crate::result::SpmmOutput;
-use crate::schedule::{self, ClaimSchedule, ExecPolicy, ScheduledClaim};
+use crate::schedule::{self, ClaimSchedule, ExecConfig, ExecPolicy, ScheduledClaim};
 
 /// Run the static-partition heterogeneous spmm of [13].
 pub fn hipc2012<T: Scalar>(
@@ -25,12 +25,13 @@ pub fn hipc2012<T: Scalar>(
     hipc2012_with(ctx, a, b, ExecPolicy::default())
 }
 
-/// [`hipc2012`] with an explicit executor policy.
+/// [`hipc2012`] with an explicit executor configuration (an
+/// [`ExecPolicy`] still works via `Into<ExecConfig>`).
 pub fn hipc2012_with<T: Scalar>(
     ctx: &mut HeteroContext,
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
-    exec: ExecPolicy,
+    exec: impl Into<ExecConfig>,
 ) -> SpmmOutput<T> {
     assert_eq!(
         a.ncols(),
@@ -68,7 +69,7 @@ pub fn hipc2012_with<T: Scalar>(
     let cpu_ns = ctx.cpu.spmm_cost(a, b, cpu_rows.iter().copied(), None);
     // Width table restricted to the GPU's row suffix — the single planned
     // cost call replaces the stamp re-walk inside `spmm_cost`.
-    let w_gpu = masked_output_widths_for(a, b, None, &gpu_rows, &ctx.pool);
+    let w_gpu = masked_output_widths_for_pooled(a, b, None, &gpu_rows, &ctx.pool, &ctx.workspaces);
     let gpu_ns = ctx
         .gpu
         .spmm_cost_planned(a, b, gpu_rows.iter().copied(), None, &w_gpu);
@@ -90,7 +91,15 @@ pub fn hipc2012_with<T: Scalar>(
             },
         ],
     };
-    let (c, counts) = schedule::execute(a, b, &sched, (a.nrows(), b.ncols()), &ctx.pool, exec);
+    let (c, counts) = schedule::execute(
+        a,
+        b,
+        &sched,
+        (a.nrows(), b.ncols()),
+        &ctx.pool,
+        &ctx.workspaces,
+        exec,
+    );
     let gpu_count = counts.gpu_entries;
     let tuples_merged = counts.cpu_entries + gpu_count;
 

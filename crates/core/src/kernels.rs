@@ -16,19 +16,24 @@
 //!   into offsets, and a numeric pass writes each row into its pre-offset
 //!   slot of one shared [`RowBlock`]. No intermediate tuple stream exists,
 //!   so Phase IV degrades from a global sort to a per-row combine
-//!   (`merge::concat_row_blocks`).
+//!   (`merge::concat_row_blocks`). The numeric pass is *adaptive* by
+//!   default ([`AccumStrategy::Adaptive`]): rows are binned by their exact
+//!   symbolic nnz and routed to the cheapest accumulator variant —
+//!   single-source rows to a verbatim scaled copy, tiny rows to a sorted
+//!   list, mid-size rows to a hash table, hubs to the dense SPA — with
+//!   bin-aware guided chunk sizes. Every variant shares the dense SPA's
+//!   observable semantics, so the adaptive output is bit-identical to the
+//!   [`AccumStrategy::FixedSpa`] reference by construction.
 //! * [`product_tuples`] — the legacy expansion path that materialises a
 //!   `Vec<Triplet>` per partial product for the global Phase IV sort. Kept
 //!   as a reference and for the wall-clock comparison in the benches.
 
 use spmm_parallel::{DisjointSlice, ThreadPool};
 use spmm_sparse::coo::Triplet;
-use spmm_sparse::{ColIndex, CsrMatrix, RowSizer, Scalar, SparseAccumulator};
-
-/// Rows a guided worker claims at a time. Small enough that one hub row
-/// cannot hide a long tail behind it, large enough to keep the shared
-/// cursor off the hot path.
-const GUIDED_CHUNK: usize = 16;
+use spmm_sparse::{
+    chunk_for, AccumStrategy, BinThresholds, ColIndex, CsrMatrix, EngineWorkspace, RowAccumulator,
+    RowBin, RowBins, Scalar, SparseAccumulator, WorkspacePool, GUIDED_CHUNK, TINY_PRODUCT_FLOPS,
+};
 
 /// A partial product over a masked row set, stored as packed CSR rows.
 ///
@@ -36,7 +41,7 @@ const GUIDED_CHUNK: usize = 16;
 /// `indices[indptr[k]..indptr[k + 1]]` (columns ascending) and the matching
 /// `values` range. Blocks from the four masked products are combined
 /// per-row by `merge::concat_row_blocks`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RowBlock<T> {
     /// Output-row index of each stored row, in the order requested.
     pub rows: Vec<u32>,
@@ -46,6 +51,16 @@ pub struct RowBlock<T> {
     pub indices: Vec<ColIndex>,
     /// Values matching `indices`.
     pub values: Vec<T>,
+}
+
+impl<T> Default for RowBlock<T> {
+    /// Delegates to [`RowBlock::empty`]. The derived impl would yield
+    /// `indptr: vec![]`, an invalid block whose accessors disagree with
+    /// every constructed block (`indptr` must always hold `rows + 1`
+    /// offsets).
+    fn default() -> Self {
+        Self::empty()
+    }
 }
 
 impl<T> RowBlock<T> {
@@ -96,10 +111,102 @@ pub fn row_products<T: Scalar>(
     b_mask: Option<&[bool]>,
     pool: &ThreadPool,
 ) -> RowBlock<T> {
+    row_products_pooled(
+        a,
+        b,
+        rows,
+        b_mask,
+        pool,
+        &WorkspacePool::new(),
+        AccumStrategy::default(),
+    )
+}
+
+/// [`row_products`] drawing per-thread scratch from a [`WorkspacePool`]
+/// and running an explicit [`AccumStrategy`]. The pooled form is what the
+/// algorithm paths call (via `HeteroContext::workspaces`), so the O(ncols)
+/// stamp/value arrays are allocated once and generation-reused across all
+/// four masked products and repeated multiplies.
+pub fn row_products_pooled<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: &[usize],
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+    strategy: AccumStrategy,
+) -> RowBlock<T> {
     assert_eq!(a.ncols(), b.nrows(), "incompatible shapes for product");
     if rows.is_empty() {
         return RowBlock::empty();
     }
+    match strategy {
+        AccumStrategy::FixedSpa => row_products_fixed(a, b, rows, b_mask, pool, workspaces),
+        AccumStrategy::Adaptive => row_products_adaptive(a, b, rows, b_mask, pool, workspaces),
+    }
+}
+
+/// Scatter one output row's partial products into `acc`: every masked
+/// `a[row, j] × B[j, :]` contribution, in A-row visit order. All numeric
+/// paths funnel through this, so the accumulation order — and therefore
+/// every output bit — is defined in exactly one place.
+#[inline]
+pub(crate) fn scatter_row<T: Scalar, A: RowAccumulator<T>>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    row: usize,
+    b_mask: Option<&[bool]>,
+    acc: &mut A,
+) {
+    let (acols, avals) = a.row(row);
+    for (&j, &aij) in acols.iter().zip(avals) {
+        if let Some(mask) = b_mask {
+            if !mask[j as usize] {
+                continue;
+            }
+        }
+        let (bcols, bvals) = b.row(j as usize);
+        for (&c, &bjc) in bcols.iter().zip(bvals) {
+            acc.scatter(c, aij * bjc);
+        }
+    }
+}
+
+/// Symbolic companion of [`scatter_row`]: mark the row's masked columns.
+#[inline]
+fn mark_row<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    row: usize,
+    b_mask: Option<&[bool]>,
+    sizer: &mut spmm_sparse::RowSizer,
+) {
+    let (acols, _) = a.row(row);
+    for &j in acols {
+        if let Some(mask) = b_mask {
+            if !mask[j as usize] {
+                continue;
+            }
+        }
+        for &c in b.row(j as usize).0 {
+            sizer.mark(c);
+        }
+    }
+}
+
+/// The fixed-SPA reference engine: one dense accumulator for every row,
+/// uniform chunk size. This is PR 1's two-pass engine verbatim, kept as
+/// the bit-identity oracle and the A/B timing baseline for the adaptive
+/// path (scratch now pooled, which changes no bits — the arrays are
+/// generation-cleared either way).
+fn row_products_fixed<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: &[usize],
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+) -> RowBlock<T> {
     let ncols = b.ncols();
 
     // Pass 1 (symbolic): distinct-column count of every requested row.
@@ -109,21 +216,10 @@ pub fn row_products<T: Scalar>(
         pool.for_each_guided_with(
             rows.len(),
             GUIDED_CHUNK,
-            || RowSizer::new(ncols),
+            || workspaces.acquire_sizer(ncols),
             |sizer, range| {
                 for k in range {
-                    let (acols, _) = a.row(rows[k]);
-                    for &j in acols {
-                        if let Some(mask) = b_mask {
-                            if !mask[j as usize] {
-                                continue;
-                            }
-                        }
-                        let (bcols, _) = b.row(j as usize);
-                        for &c in bcols {
-                            sizer.mark(c);
-                        }
-                    }
+                    mark_row(a, b, rows[k], b_mask, sizer);
                     // each k written by exactly one claimant
                     unsafe { out.write(k, sizer.finish_row() as u64) };
                 }
@@ -131,11 +227,7 @@ pub fn row_products<T: Scalar>(
         );
     }
 
-    // Offsets: sizes becomes the exclusive prefix sum, total comes back.
-    let total = spmm_parallel::exclusive_scan(&mut sizes, pool) as usize;
-    let mut indptr = Vec::with_capacity(rows.len() + 1);
-    indptr.extend(sizes.iter().map(|&s| s as usize));
-    indptr.push(total);
+    let (indptr, total) = offsets_from_sizes(sizes, pool);
 
     // Pass 2 (numeric): accumulate each row and write it into its slot.
     let mut indices = vec![0 as ColIndex; total];
@@ -147,21 +239,11 @@ pub fn row_products<T: Scalar>(
         pool.for_each_guided_with(
             rows.len(),
             GUIDED_CHUNK,
-            || SparseAccumulator::new(ncols),
-            |spa, range| {
+            || workspaces.acquire::<T>(ncols),
+            |ws, range| {
                 for k in range {
-                    let (acols, avals) = a.row(rows[k]);
-                    for (&j, &aij) in acols.iter().zip(avals) {
-                        if let Some(mask) = b_mask {
-                            if !mask[j as usize] {
-                                continue;
-                            }
-                        }
-                        let (bcols, bvals) = b.row(j as usize);
-                        for (&c, &bjc) in bcols.iter().zip(bvals) {
-                            spa.scatter(c, aij * bjc);
-                        }
-                    }
+                    let spa = &mut ws.spa;
+                    scatter_row(a, b, rows[k], b_mask, spa);
                     let mut at = indptr[k];
                     debug_assert_eq!(indptr[k + 1] - at, spa.nnz());
                     spa.drain_sorted(|c, v| {
@@ -177,9 +259,310 @@ pub fn row_products<T: Scalar>(
         );
     }
 
-    let rows_u32 = rows.iter().map(|&r| r as u32).collect();
+    pack_block(rows, indptr, indices, values)
+}
+
+/// The adaptive engine: bin rows by size and dispatch the cheapest
+/// accumulator per bin, with bin-aware guided chunk sizes (large chunks
+/// for the trivial tail bins, small chunks for the hub bins).
+fn row_products_adaptive<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: &[usize],
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+) -> RowBlock<T> {
+    let ncols = b.ncols();
+    let thresholds = BinThresholds::for_ncols(b.ncols());
+
+    // Pass 0: masked source stats per requested row — a FLOP upper bound
+    // (sum of masked B-row sizes, exact when no column collides) and the
+    // masked source count saturated at 2 ("exactly one" is the only
+    // distinction that matters).
+    let mut flops = vec![0u64; rows.len()];
+    let mut nsrc = vec![0u8; rows.len()];
+    {
+        let out_f = DisjointSlice::new(&mut flops);
+        let out_n = DisjointSlice::new(&mut nsrc);
+        pool.for_each_guided(rows.len(), 8 * GUIDED_CHUNK, |range| {
+            for k in range {
+                let (acols, _) = a.row(rows[k]);
+                let mut f = 0u64;
+                let mut n = 0u8;
+                for &j in acols {
+                    if let Some(mask) = b_mask {
+                        if !mask[j as usize] {
+                            continue;
+                        }
+                    }
+                    f += b.row_nnz(j as usize) as u64;
+                    n = n.saturating_add(1);
+                }
+                unsafe {
+                    out_f.write(k, f);
+                    out_n.write(k, n);
+                }
+            }
+        });
+    }
+
+    // Tiny products can't amortise the extra bin dispatches — run the
+    // single dense pass instead (same bits, fewer parallel loops).
+    if flops.iter().sum::<u64>() < TINY_PRODUCT_FLOPS {
+        return row_products_fixed(a, b, rows, b_mask, pool, workspaces);
+    }
+
+    // Pass 1 (symbolic), binned by the FLOP bound (the exact nnz is not
+    // known yet — the bound is what this pass exists to refine). Single
+    // -source rows are sized for free: their output is the masked B row
+    // verbatim. Tiny rows dedup through a short sorted list with no
+    // O(ncols) state; everything else goes through the dense sizer.
+    let sym_bins = RowBins::build(
+        rows.len(),
+        &thresholds,
+        |k| flops[k] as usize,
+        |k| nsrc[k] as usize,
+    );
+    let mut sizes = vec![0u64; rows.len()];
+    for &k in &sym_bins.copy {
+        sizes[k as usize] = flops[k as usize];
+    }
+    {
+        let out = DisjointSlice::new(&mut sizes);
+        pool.for_each_guided_items(
+            &sym_bins.list,
+            chunk_for(RowBin::List),
+            || workspaces.acquire::<T>(ncols),
+            |ws, ks| {
+                for &k in ks {
+                    let k = k as usize;
+                    let (acols, _) = a.row(rows[k]);
+                    ws.tiny_cols.clear();
+                    for &j in acols {
+                        if let Some(mask) = b_mask {
+                            if !mask[j as usize] {
+                                continue;
+                            }
+                        }
+                        for &c in b.row(j as usize).0 {
+                            if let Err(pos) = ws.tiny_cols.binary_search(&c) {
+                                ws.tiny_cols.insert(pos, c);
+                            }
+                        }
+                    }
+                    unsafe { out.write(k, ws.tiny_cols.len() as u64) };
+                }
+            },
+        );
+        for (bin_rows, bin) in [
+            (&sym_bins.hash, RowBin::Hash),
+            (&sym_bins.dense, RowBin::Dense),
+        ] {
+            pool.for_each_guided_items(
+                bin_rows,
+                chunk_for(bin),
+                || workspaces.acquire::<T>(ncols),
+                |ws, ks| {
+                    for &k in ks {
+                        let k = k as usize;
+                        mark_row(a, b, rows[k], b_mask, &mut ws.sizer);
+                        unsafe { out.write(k, ws.sizer.finish_row() as u64) };
+                    }
+                },
+            );
+        }
+    }
+
+    let (indptr, total) = offsets_from_sizes(sizes, pool);
+
+    // Pass 2 (numeric), re-binned by the now-exact per-row nnz.
+    let num_bins = RowBins::build(
+        rows.len(),
+        &thresholds,
+        |k| indptr[k + 1] - indptr[k],
+        |k| nsrc[k] as usize,
+    );
+    let mut indices = vec![0 as ColIndex; total];
+    let mut values = vec![T::ZERO; total];
+    {
+        let out_idx = DisjointSlice::new(&mut indices);
+        let out_val = DisjointSlice::new(&mut values);
+
+        // Copy bin: the output row is `a_ij × B[j, :]` verbatim — each
+        // column is touched exactly once and B columns already ascend, so
+        // the copy is bit-identical to any accumulator run and needs no
+        // accumulator state at all.
+        pool.for_each_guided_items(
+            &num_bins.copy,
+            chunk_for(RowBin::Copy),
+            || (),
+            |(), ks| {
+                for &k in ks {
+                    let k = k as usize;
+                    let (acols, avals) = a.row(rows[k]);
+                    let mut at = indptr[k];
+                    for (&j, &aij) in acols.iter().zip(avals) {
+                        if let Some(mask) = b_mask {
+                            if !mask[j as usize] {
+                                continue;
+                            }
+                        }
+                        let (bcols, bvals) = b.row(j as usize);
+                        for (&c, &bjc) in bcols.iter().zip(bvals) {
+                            unsafe {
+                                out_idx.write(at, c);
+                                out_val.write(at, aij * bjc);
+                            }
+                            at += 1;
+                        }
+                    }
+                    debug_assert_eq!(at, indptr[k + 1]);
+                }
+            },
+        );
+
+        numeric_bin(
+            a,
+            b,
+            rows,
+            b_mask,
+            pool,
+            workspaces,
+            ncols,
+            &num_bins.list,
+            chunk_for(RowBin::List),
+            &indptr,
+            &out_idx,
+            &out_val,
+            sel_list,
+        );
+        numeric_bin(
+            a,
+            b,
+            rows,
+            b_mask,
+            pool,
+            workspaces,
+            ncols,
+            &num_bins.hash,
+            chunk_for(RowBin::Hash),
+            &indptr,
+            &out_idx,
+            &out_val,
+            sel_hash,
+        );
+        numeric_bin(
+            a,
+            b,
+            rows,
+            b_mask,
+            pool,
+            workspaces,
+            ncols,
+            &num_bins.dense,
+            chunk_for(RowBin::Dense),
+            &indptr,
+            &out_idx,
+            &out_val,
+            sel_spa,
+        );
+    }
+
+    pack_block(rows, indptr, indices, values)
+}
+
+/// Accumulator selectors for [`numeric_bin`] — free functions rather than
+/// closures so the higher-ranked `for<'w>` bound infers cleanly.
+pub(crate) fn sel_list<T: Scalar>(
+    ws: &mut EngineWorkspace<T>,
+    _size: usize,
+) -> &mut spmm_sparse::ListAccumulator<T> {
+    &mut ws.list
+}
+
+pub(crate) fn sel_hash<T: Scalar>(
+    ws: &mut EngineWorkspace<T>,
+    size: usize,
+) -> &mut spmm_sparse::HashAccumulator<T> {
+    // the exact nnz is known, so the table is sized once per row and the
+    // mid-row grow path stays cold
+    ws.hash.ensure_capacity(size);
+    &mut ws.hash
+}
+
+pub(crate) fn sel_spa<T: Scalar>(
+    ws: &mut EngineWorkspace<T>,
+    _size: usize,
+) -> &mut SparseAccumulator<T> {
+    &mut ws.spa
+}
+
+/// One numeric bin: scatter every row through the accumulator `sel`
+/// chooses and drain it, sorted, into its pre-offset slot.
+#[allow(clippy::too_many_arguments)]
+fn numeric_bin<T, A, Sel>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: &[usize],
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+    ncols: usize,
+    bin_rows: &[u32],
+    chunk: usize,
+    indptr: &[usize],
+    out_idx: &DisjointSlice<'_, ColIndex>,
+    out_val: &DisjointSlice<'_, T>,
+    sel: Sel,
+) where
+    T: Scalar,
+    A: RowAccumulator<T>,
+    Sel: for<'w> Fn(&'w mut EngineWorkspace<T>, usize) -> &'w mut A + Sync,
+{
+    pool.for_each_guided_items(
+        bin_rows,
+        chunk,
+        || workspaces.acquire::<T>(ncols),
+        |ws, ks| {
+            for &k in ks {
+                let k = k as usize;
+                let size = indptr[k + 1] - indptr[k];
+                let acc = sel(ws, size);
+                scatter_row(a, b, rows[k], b_mask, acc);
+                let mut at = indptr[k];
+                debug_assert_eq!(size, acc.nnz());
+                acc.drain_sorted(|c, v| {
+                    // rows own disjoint indptr ranges
+                    unsafe {
+                        out_idx.write(at, c);
+                        out_val.write(at, v);
+                    }
+                    at += 1;
+                });
+            }
+        },
+    );
+}
+
+/// Exclusive-scan `sizes` into a CSR `indptr`, returning it with the
+/// entry total.
+fn offsets_from_sizes(mut sizes: Vec<u64>, pool: &ThreadPool) -> (Vec<usize>, usize) {
+    let total = spmm_parallel::exclusive_scan(&mut sizes, pool) as usize;
+    let mut indptr = Vec::with_capacity(sizes.len() + 1);
+    indptr.extend(sizes.iter().map(|&s| s as usize));
+    indptr.push(total);
+    (indptr, total)
+}
+
+fn pack_block<T>(
+    rows: &[usize],
+    indptr: Vec<usize>,
+    indices: Vec<ColIndex>,
+    values: Vec<T>,
+) -> RowBlock<T> {
     RowBlock {
-        rows: rows_u32,
+        rows: rows.iter().map(|&r| r as u32).collect(),
         indptr,
         indices,
         values,
@@ -207,42 +590,21 @@ pub fn product_tuples<T: Scalar>(
     let chunks: Vec<&[usize]> = rows.chunks(chunk).collect();
     let ncols = b.ncols();
     let parts: Vec<Vec<Triplet<T>>> = pool.map(chunks.len(), |ci| {
-        // per-thread sparse accumulator (the kernel's PartialOutput)
-        let mut acc = vec![T::ZERO; ncols];
-        let mut stamp = vec![u32::MAX; ncols];
-        let mut touched: Vec<ColIndex> = Vec::new();
+        // per-thread sparse accumulator (the kernel's PartialOutput) —
+        // the shared SPA, same first-touch/accumulate/sorted-drain
+        // semantics the hand-rolled stamp/acc/touched arrays used to
+        // reimplement here
+        let mut spa = SparseAccumulator::new(ncols);
         let mut out = Vec::new();
-        for (gen, &i) in chunks[ci].iter().enumerate() {
-            let gen = gen as u32;
-            touched.clear();
-            let (acols, avals) = a.row(i);
-            for (&j, &aij) in acols.iter().zip(avals) {
-                let j = j as usize;
-                if let Some(mask) = b_mask {
-                    if !mask[j] {
-                        continue;
-                    }
-                }
-                let (bcols, bvals) = b.row(j);
-                for (&c, &bjc) in bcols.iter().zip(bvals) {
-                    let cu = c as usize;
-                    if stamp[cu] != gen {
-                        stamp[cu] = gen;
-                        acc[cu] = aij * bjc;
-                        touched.push(c);
-                    } else {
-                        acc[cu] += aij * bjc;
-                    }
-                }
-            }
-            touched.sort_unstable();
-            for &c in &touched {
+        for &i in chunks[ci] {
+            scatter_row(a, b, i, b_mask, &mut spa);
+            spa.drain_sorted(|col, val| {
                 out.push(Triplet {
                     row: i as u32,
-                    col: c,
-                    val: acc[c as usize],
+                    col,
+                    val,
                 });
-            }
+            });
         }
         out
     });
@@ -404,6 +766,44 @@ mod tests {
         assert_eq!(b1.indptr, b4.indptr);
         assert_eq!(b1.indices, b4.indices);
         assert_eq!(b1.values, b4.values);
+    }
+
+    #[test]
+    fn default_row_block_is_the_empty_block() {
+        // the derived Default used to yield `indptr: vec![]`, on which
+        // `row(0)` / `nnz` disagree with every constructed block
+        let d = RowBlock::<f64>::default();
+        let e = RowBlock::<f64>::empty();
+        assert_eq!(d.num_rows(), e.num_rows());
+        assert_eq!(d.nnz(), e.nnz());
+        assert_eq!(d.indptr, e.indptr);
+        assert_eq!(d.indptr, vec![0]);
+    }
+
+    #[test]
+    fn adaptive_engine_is_bit_identical_to_fixed_spa() {
+        use spmm_scalefree::{scale_free_matrix, GeneratorConfig};
+        let n = 800;
+        let a: CsrMatrix<f64> =
+            scale_free_matrix(&GeneratorConfig::square_power_law(n, 6_000, 2.2, 7));
+        let rows: Vec<usize> = (0..n).collect();
+        let ws = WorkspacePool::new();
+        let mask: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            for bmask in [None, Some(&mask[..])] {
+                let fixed =
+                    row_products_pooled(&a, &a, &rows, bmask, &pool, &ws, AccumStrategy::FixedSpa);
+                let adaptive =
+                    row_products_pooled(&a, &a, &rows, bmask, &pool, &ws, AccumStrategy::Adaptive);
+                assert_eq!(fixed.rows, adaptive.rows);
+                assert_eq!(fixed.indptr, adaptive.indptr);
+                assert_eq!(fixed.indices, adaptive.indices);
+                let fb: Vec<u64> = fixed.values.iter().map(|v| v.to_bits()).collect();
+                let ab: Vec<u64> = adaptive.values.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fb, ab, "adaptive bits drifted (threads {threads})");
+            }
+        }
     }
 
     #[test]

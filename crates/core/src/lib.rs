@@ -45,7 +45,7 @@ pub use context::HeteroContext;
 pub use hhcpu::{hh_cpu, HhCpuConfig};
 pub use hipc2012::{hipc2012, hipc2012_with};
 pub use result::SpmmOutput;
-pub use schedule::{ClaimSchedule, ExecCounts, ExecPolicy, ScheduledClaim};
+pub use schedule::{ClaimSchedule, ExecConfig, ExecCounts, ExecPolicy, ScheduledClaim};
 pub use threshold::{identify_plan, Phase1Plan, SymbolicStructure, ThresholdPolicy, Thresholds};
 pub use units::WorkUnitConfig;
 pub use vendor::{cusparse_like, mkl_like};
@@ -54,3 +54,4 @@ pub use wq_baselines::{
 };
 
 pub use spmm_hetsim::{PhaseBreakdown, PhaseTimes, Platform, SimNs};
+pub use spmm_sparse::{AccumStrategy, BinThresholds, WorkspacePool};

@@ -31,14 +31,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use spmm_hetsim::DeviceKind;
 use spmm_parallel::{exclusive_scan, DisjointSlice, ThreadPool};
-use spmm_sparse::{ColIndex, CsrMatrix, RowSizer, Scalar, SparseAccumulator};
+use spmm_sparse::{
+    chunk_for, AccumStrategy, BinThresholds, ColIndex, CsrMatrix, EngineWorkspace, RowAccumulator,
+    RowBin, RowBins, Scalar, WorkspacePool, GUIDED_CHUNK, TINY_PRODUCT_FLOPS,
+};
 
-use crate::kernels::{row_products, RowBlock};
+use crate::kernels::{row_products_pooled, scatter_row, sel_hash, sel_list, sel_spa, RowBlock};
 use crate::merge::concat_row_blocks;
-
-/// Rows a guided worker claims at a time (matches the kernels' grain: small
-/// enough that a hub row cannot hide a long tail behind it).
-const GUIDED_CHUNK: usize = 16;
 
 /// Which executor runs the scheduled numeric work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +47,27 @@ pub enum ExecPolicy {
     Batched,
     /// Legacy per-claim `row_products` + `concat_row_blocks` reference.
     PerClaim,
+}
+
+/// Full executor configuration: which executor shape runs, and which
+/// accumulator strategy its numeric passes use. `ExecPolicy` converts
+/// into this (with the default [`AccumStrategy::Adaptive`]), so call
+/// sites that only care about the executor shape stay unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecConfig {
+    /// Executor shape (batched vs per-claim reference).
+    pub policy: ExecPolicy,
+    /// Accumulator strategy of the numeric passes.
+    pub accum: AccumStrategy,
+}
+
+impl From<ExecPolicy> for ExecConfig {
+    fn from(policy: ExecPolicy) -> Self {
+        Self {
+            policy,
+            accum: AccumStrategy::default(),
+        }
+    }
 }
 
 /// One recorded claim: a device took `rows` of `A` against the `b_mask`
@@ -115,19 +135,23 @@ impl ExecCounts {
 }
 
 /// Run the numeric work of a recorded schedule and assemble the output
-/// CSR. Output bits and entry counts are identical for both policies and
-/// for any host thread count.
+/// CSR. Output bits and entry counts are identical for both policies,
+/// both accumulator strategies, and any host thread count. `exec` accepts
+/// a bare [`ExecPolicy`] (running the default accumulator strategy) or a
+/// full [`ExecConfig`].
 pub fn execute<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     schedule: &ClaimSchedule<'_>,
     shape: (usize, usize),
     pool: &ThreadPool,
-    policy: ExecPolicy,
+    workspaces: &WorkspacePool,
+    exec: impl Into<ExecConfig>,
 ) -> (CsrMatrix<T>, ExecCounts) {
-    match policy {
-        ExecPolicy::PerClaim => execute_per_claim(a, b, schedule, shape, pool),
-        ExecPolicy::Batched => execute_batched(a, b, schedule, shape, pool),
+    let cfg = exec.into();
+    match cfg.policy {
+        ExecPolicy::PerClaim => execute_per_claim(a, b, schedule, shape, pool, workspaces, cfg),
+        ExecPolicy::Batched => execute_batched(a, b, schedule, shape, pool, workspaces, cfg),
     }
 }
 
@@ -140,11 +164,15 @@ fn execute_per_claim<T: Scalar>(
     schedule: &ClaimSchedule<'_>,
     shape: (usize, usize),
     pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+    cfg: ExecConfig,
 ) -> (CsrMatrix<T>, ExecCounts) {
     let blocks: Vec<RowBlock<T>> = schedule
         .claims
         .iter()
-        .map(|claim| row_products(a, b, claim.rows, claim.b_mask, pool))
+        .map(|claim| {
+            row_products_pooled(a, b, claim.rows, claim.b_mask, pool, workspaces, cfg.accum)
+        })
         .collect();
     let per_claim: Vec<usize> = blocks.iter().map(RowBlock::nnz).collect();
     let c = concat_row_blocks(&blocks, shape, pool);
@@ -152,13 +180,20 @@ fn execute_per_claim<T: Scalar>(
 }
 
 /// One guided symbolic pass + scan + one guided numeric pass over all
-/// claims at once; rows land directly in their final slots.
+/// claims at once; rows land directly in their final slots. Under
+/// [`AccumStrategy::Adaptive`], single-claim output rows (the vast
+/// majority — only rows claimed under both mask halves have two sources)
+/// are additionally binned by their exact nnz and routed to the cheapest
+/// accumulator with bin-aware chunk sizes; multi-source rows always run
+/// the dense merge path.
 fn execute_batched<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     schedule: &ClaimSchedule<'_>,
     shape: (usize, usize),
     pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+    cfg: ExecConfig,
 ) -> (CsrMatrix<T>, ExecCounts) {
     let (nrows, ncols) = shape;
     let claims = &schedule.claims;
@@ -187,26 +222,35 @@ fn execute_batched<T: Scalar>(
     }
 
     // Symbolic: distinct columns of each merged output row — the union
-    // over the row's sources, marked through one RowSizer. Integers, so
-    // equal to the per-claim sizes fed through the old per-row merge.
+    // over the row's sources, marked through one pooled RowSizer.
+    // Integers, so equal to the per-claim sizes fed through the old
+    // per-row merge. Alongside the size, record the masked B-source count
+    // (saturated at 2) for single-claim rows — the numeric binning's
+    // copy-bin test.
     let mut sizes = vec![0u64; nrows];
+    let mut nsrc = vec![0u8; nrows];
     {
         let out = DisjointSlice::new(&mut sizes);
+        let out_n = DisjointSlice::new(&mut nsrc);
         let src = &src;
         let src_off = &src_off;
         pool.for_each_guided_with(
             nrows,
             GUIDED_CHUNK,
-            || RowSizer::new(ncols),
+            || workspaces.acquire_sizer(ncols),
             |sizer, range| {
                 for r in range {
                     let sources = &src[src_off[r]..src_off[r + 1]];
                     if sources.is_empty() {
                         // one writer per output row
-                        unsafe { out.write(r, 0) };
+                        unsafe {
+                            out.write(r, 0);
+                            out_n.write(r, 0);
+                        }
                         continue;
                     }
                     let (acols, _) = a.row(r);
+                    let mut n = 0u8;
                     for &ci in sources {
                         let b_mask = claims[ci as usize].b_mask;
                         for &j in acols {
@@ -215,12 +259,20 @@ fn execute_batched<T: Scalar>(
                                     continue;
                                 }
                             }
+                            n = n.saturating_add(1);
                             for &c in b.row(j as usize).0 {
                                 sizer.mark(c);
                             }
                         }
                     }
-                    unsafe { out.write(r, sizer.finish_row() as u64) };
+                    if sources.len() > 1 {
+                        // multi-source rows never take the copy fast path
+                        n = 2;
+                    }
+                    unsafe {
+                        out.write(r, sizer.finish_row() as u64);
+                        out_n.write(r, n);
+                    }
                 }
             },
         );
@@ -230,6 +282,42 @@ fn execute_batched<T: Scalar>(
     let mut indptr = Vec::with_capacity(nrows + 1);
     indptr.extend(sizes.iter().map(|&s| s as usize));
     indptr.push(total);
+
+    // Partition output rows for the numeric pass: multi-source rows take
+    // the k-way merge path; single-source rows are binned by exact nnz
+    // under Adaptive, or all sent to the dense SPA under FixedSpa. Tiny
+    // products can't amortise the extra bin dispatches, so they run the
+    // dense pass regardless of strategy (same bits, fewer parallel loops).
+    let thresholds = BinThresholds::for_ncols(b.ncols());
+    let binned = cfg.accum == AccumStrategy::Adaptive && total as u64 >= TINY_PRODUCT_FLOPS;
+    let mut bins = RowBins::default();
+    let mut multi: Vec<u32> = Vec::new();
+    for r in 0..nrows {
+        match src_off[r + 1] - src_off[r] {
+            0 => {}
+            1 => {
+                let bin = if binned {
+                    thresholds.classify(indptr[r + 1] - indptr[r], nsrc[r] as usize)
+                } else {
+                    RowBin::Dense
+                };
+                match bin {
+                    RowBin::Copy => bins.copy.push(r as u32),
+                    RowBin::List => bins.list.push(r as u32),
+                    RowBin::Hash => bins.hash.push(r as u32),
+                    RowBin::Dense => bins.dense.push(r as u32),
+                }
+            }
+            _ => multi.push(r as u32),
+        }
+    }
+    let chunk_of = |bin: RowBin| {
+        if binned {
+            chunk_for(bin)
+        } else {
+            GUIDED_CHUNK
+        }
+    };
 
     // Numeric: each output row is produced once, straight into its slot.
     // Per-claim entry counts accumulate through relaxed atomics — integer
@@ -245,61 +333,139 @@ fn execute_batched<T: Scalar>(
         let src_off = &src_off;
         let indptr = &indptr;
         let per_claim = &per_claim;
-        pool.for_each_guided_with(
-            nrows,
-            GUIDED_CHUNK,
-            || BatchScratch::<T>::new(ncols),
-            |scratch, range| {
-                for r in range {
-                    let sources = &src[src_off[r]..src_off[r + 1]];
+
+        // Copy bin (Adaptive only): sole claim, sole masked source — the
+        // output row is the scaled B row verbatim.
+        pool.for_each_guided_items(
+            &bins.copy,
+            chunk_of(RowBin::Copy),
+            || (),
+            |(), rs| {
+                for &r in rs {
+                    let r = r as usize;
+                    let ci = src[src_off[r]] as usize;
+                    let b_mask = claims[ci].b_mask;
+                    let (acols, avals) = a.row(r);
                     let mut at = indptr[r];
-                    match sources {
-                        [] => {}
-                        [ci] => {
-                            // sole producer of this row: the accumulator
-                            // drain *is* the final row (the per-claim path
-                            // drained into a block and bare-copied it)
-                            let claim = &claims[*ci as usize];
-                            scatter_row(a, b, r, claim.b_mask, &mut scratch.spa);
-                            per_claim[*ci as usize].fetch_add(scratch.spa.nnz(), Ordering::Relaxed);
-                            scratch.spa.drain_sorted(|c, v| {
-                                // rows own disjoint indptr ranges
-                                unsafe {
-                                    out_idx.write(at, c);
-                                    out_val.write(at, v);
-                                }
-                                at += 1;
-                            });
-                        }
-                        _ => {
-                            // complementary mask halves: materialise each
-                            // source run, then merge in claim order with
-                            // the exact summation of the per-row merge
-                            scratch.cols.clear();
-                            scratch.vals.clear();
-                            scratch.bounds.clear();
-                            scratch.bounds.push(0);
-                            for &ci in sources {
-                                let claim = &claims[ci as usize];
-                                scatter_row(a, b, r, claim.b_mask, &mut scratch.spa);
-                                per_claim[ci as usize]
-                                    .fetch_add(scratch.spa.nnz(), Ordering::Relaxed);
-                                let (cols, vals) = (&mut scratch.cols, &mut scratch.vals);
-                                scratch.spa.drain_sorted(|c, v| {
-                                    cols.push(c);
-                                    vals.push(v);
-                                });
-                                scratch.bounds.push(scratch.cols.len());
+                    for (&j, &aij) in acols.iter().zip(avals) {
+                        if let Some(mask) = b_mask {
+                            if !mask[j as usize] {
+                                continue;
                             }
-                            merge_scratch_runs(scratch, |c, v| {
-                                unsafe {
-                                    out_idx.write(at, c);
-                                    out_val.write(at, v);
-                                }
-                                at += 1;
-                            });
+                        }
+                        let (bcols, bvals) = b.row(j as usize);
+                        for (&c, &bjc) in bcols.iter().zip(bvals) {
+                            // rows own disjoint indptr ranges
+                            unsafe {
+                                out_idx.write(at, c);
+                                out_val.write(at, aij * bjc);
+                            }
+                            at += 1;
                         }
                     }
+                    debug_assert_eq!(at, indptr[r + 1]);
+                    // each column touched exactly once ⇒ the claim's entry
+                    // count is the row size
+                    per_claim[ci].fetch_add(indptr[r + 1] - indptr[r], Ordering::Relaxed);
+                }
+            },
+        );
+
+        // Sized single-source bins: sole producer of the row, so the
+        // accumulator drain *is* the final row (the per-claim path drained
+        // into a block and bare-copied it).
+        single_source_bin(
+            a,
+            b,
+            claims,
+            src,
+            src_off,
+            pool,
+            workspaces,
+            ncols,
+            &bins.list,
+            chunk_of(RowBin::List),
+            indptr,
+            &out_idx,
+            &out_val,
+            per_claim,
+            sel_list,
+        );
+        single_source_bin(
+            a,
+            b,
+            claims,
+            src,
+            src_off,
+            pool,
+            workspaces,
+            ncols,
+            &bins.hash,
+            chunk_of(RowBin::Hash),
+            indptr,
+            &out_idx,
+            &out_val,
+            per_claim,
+            sel_hash,
+        );
+        single_source_bin(
+            a,
+            b,
+            claims,
+            src,
+            src_off,
+            pool,
+            workspaces,
+            ncols,
+            &bins.dense,
+            chunk_of(RowBin::Dense),
+            indptr,
+            &out_idx,
+            &out_val,
+            per_claim,
+            sel_spa,
+        );
+
+        // Multi-source rows (complementary mask halves): materialise each
+        // source run through the dense SPA, then merge in claim order with
+        // the exact summation of the per-row merge.
+        pool.for_each_guided_items(
+            &multi,
+            chunk_of(RowBin::Dense),
+            || workspaces.acquire::<T>(ncols),
+            |ws, rs| {
+                let EngineWorkspace {
+                    spa,
+                    cols,
+                    vals,
+                    bounds,
+                    ..
+                } = &mut **ws;
+                for &r in rs {
+                    let r = r as usize;
+                    let sources = &src[src_off[r]..src_off[r + 1]];
+                    let mut at = indptr[r];
+                    cols.clear();
+                    vals.clear();
+                    bounds.clear();
+                    bounds.push(0);
+                    for &ci in sources {
+                        let claim = &claims[ci as usize];
+                        scatter_row(a, b, r, claim.b_mask, spa);
+                        per_claim[ci as usize].fetch_add(spa.nnz(), Ordering::Relaxed);
+                        spa.drain_sorted(|c, v| {
+                            cols.push(c);
+                            vals.push(v);
+                        });
+                        bounds.push(cols.len());
+                    }
+                    merge_runs(cols, vals, bounds, |c, v| {
+                        unsafe {
+                            out_idx.write(at, c);
+                            out_val.write(at, v);
+                        }
+                        at += 1;
+                    });
                     debug_assert_eq!(at, indptr[r + 1]);
                 }
             },
@@ -311,73 +477,82 @@ fn execute_batched<T: Scalar>(
     (c, ExecCounts::from_per_claim(schedule, per_claim))
 }
 
-/// Per-thread scratch of the batched numeric pass: the sparse accumulator
-/// plus run storage for multi-source rows.
-struct BatchScratch<T> {
-    spa: SparseAccumulator<T>,
-    cols: Vec<ColIndex>,
-    vals: Vec<T>,
-    /// Run boundaries into `cols`/`vals`, one run per source.
-    bounds: Vec<usize>,
-}
-
-impl<T: Scalar> BatchScratch<T> {
-    fn new(ncols: usize) -> Self {
-        Self {
-            spa: SparseAccumulator::new(ncols),
-            cols: Vec::new(),
-            vals: Vec::new(),
-            bounds: Vec::new(),
-        }
-    }
-}
-
-/// Accumulate output row `r` of `a × b` under `b_mask` — the same scatter
-/// sequence the two-pass engine's numeric pass performs for this row.
-#[inline]
-fn scatter_row<T: Scalar>(
+/// One single-source numeric bin of the batched executor: scatter each
+/// row through the accumulator `sel` chooses under its sole claim's mask,
+/// count the entries against that claim, and drain into the final slot.
+#[allow(clippy::too_many_arguments)]
+fn single_source_bin<T, A, Sel>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
-    r: usize,
-    b_mask: Option<&[bool]>,
-    spa: &mut SparseAccumulator<T>,
-) {
-    let (acols, avals) = a.row(r);
-    for (&j, &aij) in acols.iter().zip(avals) {
-        if let Some(mask) = b_mask {
-            if !mask[j as usize] {
-                continue;
+    claims: &[ScheduledClaim<'_>],
+    src: &[u32],
+    src_off: &[usize],
+    pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+    ncols: usize,
+    bin_rows: &[u32],
+    chunk: usize,
+    indptr: &[usize],
+    out_idx: &DisjointSlice<'_, ColIndex>,
+    out_val: &DisjointSlice<'_, T>,
+    per_claim: &[AtomicUsize],
+    sel: Sel,
+) where
+    T: Scalar,
+    A: RowAccumulator<T>,
+    Sel: for<'w> Fn(&'w mut EngineWorkspace<T>, usize) -> &'w mut A + Sync,
+{
+    pool.for_each_guided_items(
+        bin_rows,
+        chunk,
+        || workspaces.acquire::<T>(ncols),
+        |ws, rs| {
+            for &r in rs {
+                let r = r as usize;
+                let ci = src[src_off[r]] as usize;
+                let size = indptr[r + 1] - indptr[r];
+                let acc = sel(ws, size);
+                scatter_row(a, b, r, claims[ci].b_mask, acc);
+                per_claim[ci].fetch_add(acc.nnz(), Ordering::Relaxed);
+                let mut at = indptr[r];
+                acc.drain_sorted(|c, v| {
+                    // rows own disjoint indptr ranges
+                    unsafe {
+                        out_idx.write(at, c);
+                        out_val.write(at, v);
+                    }
+                    at += 1;
+                });
+                debug_assert_eq!(at, indptr[r + 1]);
             }
-        }
-        let (bcols, bvals) = b.row(j as usize);
-        for (&c, &bjc) in bcols.iter().zip(bvals) {
-            spa.scatter(c, aij * bjc);
-        }
-    }
+        },
+    );
 }
 
-/// k-way merge of the scratch runs (each column-sorted), summing values of
-/// shared columns in run order: `sum = 0; sum += v_k` — byte-for-byte the
-/// accumulation of `concat_row_blocks`' per-row merge.
-fn merge_scratch_runs<T: Scalar, F: FnMut(ColIndex, T)>(
-    scratch: &mut BatchScratch<T>,
+/// k-way merge of column-sorted runs, summing values of shared columns in
+/// run order: `sum = 0; sum += v_k` — byte-for-byte the accumulation of
+/// `concat_row_blocks`' per-row merge.
+fn merge_runs<T: Scalar, F: FnMut(ColIndex, T)>(
+    cols: &[ColIndex],
+    vals: &[T],
+    bounds: &[usize],
     mut emit: F,
 ) {
-    let k = scratch.bounds.len() - 1;
-    let mut pos: Vec<usize> = scratch.bounds[..k].to_vec();
+    let k = bounds.len() - 1;
+    let mut pos: Vec<usize> = bounds[..k].to_vec();
     loop {
         let mut min: Option<ColIndex> = None;
         for (s, &p) in pos.iter().enumerate() {
-            if p < scratch.bounds[s + 1] {
-                let c = scratch.cols[p];
+            if p < bounds[s + 1] {
+                let c = cols[p];
                 min = Some(min.map_or(c, |m: ColIndex| m.min(c)));
             }
         }
         let Some(col) = min else { break };
         let mut sum = T::ZERO;
         for (s, p) in pos.iter_mut().enumerate() {
-            if *p < scratch.bounds[s + 1] && scratch.cols[*p] == col {
-                sum += scratch.vals[*p];
+            if *p < bounds[s + 1] && cols[*p] == col {
+                sum += vals[*p];
                 *p += 1;
             }
         }
@@ -467,12 +642,45 @@ mod tests {
         };
         let schedule = hh_like_schedule(&rows_h, &rows_l, &b_high, &b_low, &pieces);
         let shape = (a.nrows(), a.ncols());
+        let ws = WorkspacePool::new();
         for threads in [1, 2, 8] {
             let pool = ThreadPool::new(threads);
-            let (c_ref, n_ref) = execute(&a, &a, &schedule, shape, &pool, ExecPolicy::PerClaim);
-            let (c_bat, n_bat) = execute(&a, &a, &schedule, shape, &pool, ExecPolicy::Batched);
+            let (c_ref, n_ref) =
+                execute(&a, &a, &schedule, shape, &pool, &ws, ExecPolicy::PerClaim);
+            let (c_bat, n_bat) = execute(&a, &a, &schedule, shape, &pool, &ws, ExecPolicy::Batched);
             assert_eq!(c_ref, c_bat, "output diverged at {threads} threads");
             assert_eq!(n_ref, n_bat, "counts diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn adaptive_executor_matches_fixed_spa_bitwise() {
+        let a = scale_free(500, 4_000, 21);
+        let t = a.mean_row_nnz().ceil() as usize;
+        let b_high: Vec<bool> = (0..a.nrows()).map(|i| a.row_nnz(i) >= t).collect();
+        let b_low: Vec<bool> = b_high.iter().map(|&h| !h).collect();
+        let rows_h = crate::kernels::rows_where(&b_high, true);
+        let rows_l = crate::kernels::rows_where(&b_high, false);
+        let pieces = vec![0..rows_l.len().min(40), rows_l.len().min(40)..rows_l.len()];
+        let schedule = hh_like_schedule(&rows_h, &rows_l, &b_high, &b_low, &pieces);
+        let shape = (a.nrows(), a.ncols());
+        let ws = WorkspacePool::new();
+        for policy in [ExecPolicy::Batched, ExecPolicy::PerClaim] {
+            for threads in [1, 8] {
+                let pool = ThreadPool::new(threads);
+                let fixed = ExecConfig {
+                    policy,
+                    accum: AccumStrategy::FixedSpa,
+                };
+                let adaptive = ExecConfig {
+                    policy,
+                    accum: AccumStrategy::Adaptive,
+                };
+                let (c_f, n_f) = execute(&a, &a, &schedule, shape, &pool, &ws, fixed);
+                let (c_a, n_a) = execute(&a, &a, &schedule, shape, &pool, &ws, adaptive);
+                assert_eq!(c_f, c_a, "bits diverged ({policy:?}, {threads} threads)");
+                assert_eq!(n_f, n_a, "counts diverged ({policy:?}, {threads} threads)");
+            }
         }
     }
 
@@ -495,6 +703,7 @@ mod tests {
             &schedule,
             (a.nrows(), a.ncols()),
             &pool,
+            &WorkspacePool::new(),
             ExecPolicy::Batched,
         );
         let expected = reference::spmm_rowrow(&a, &a).unwrap();
@@ -509,7 +718,15 @@ mod tests {
         let pool = ThreadPool::new(2);
         let schedule = ClaimSchedule::default();
         for policy in [ExecPolicy::Batched, ExecPolicy::PerClaim] {
-            let (c, counts) = execute(&a, &a, &schedule, (50, 50), &pool, policy);
+            let (c, counts) = execute(
+                &a,
+                &a,
+                &schedule,
+                (50, 50),
+                &pool,
+                &WorkspacePool::new(),
+                policy,
+            );
             assert_eq!(c.nnz(), 0);
             assert_eq!(c.shape(), (50, 50));
             assert!(counts.per_claim.is_empty());

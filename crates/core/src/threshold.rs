@@ -15,7 +15,7 @@
 //!   "analytical techniques to identify the threshold" as future work —
 //!   §VI; this policy is that extension).
 
-use spmm_hetsim::gpu::{masked_output_widths, masked_output_widths_for};
+use spmm_hetsim::gpu::{masked_output_widths_for_pooled, masked_output_widths_pooled};
 use spmm_parallel::ThreadPool;
 use spmm_sparse::{CsrMatrix, RowHistogram, Scalar};
 
@@ -444,7 +444,7 @@ pub fn estimate_phases_with<T: Scalar>(
     // GPU's A_H × B_L claims — together every A row, so build eagerly. The
     // B_H table only matters if the GPU drains the CPU's queue end, and
     // then only for A_L rows — build lazily, restricted to that quadrant.
-    let w_low = masked_output_widths(a, b, Some(&b_low), &serial);
+    let w_low = masked_output_widths_pooled(a, b, Some(&b_low), &serial, &ctx.workspaces);
     let mut w_high: Option<Vec<u32>> = None;
 
     let mut cpu = spmm_hetsim::CpuDevice::new(ctx.platform.cpu);
@@ -517,7 +517,14 @@ pub fn estimate_phases_with<T: Scalar>(
                 gpu.spmm_cost_planned(a, b, rows.iter().copied(), Some(mask), &w_low)
             } else {
                 let w = w_high.get_or_insert_with(|| {
-                    masked_output_widths_for(a, b, Some(&b_high), &rows_l, &serial)
+                    masked_output_widths_for_pooled(
+                        a,
+                        b,
+                        Some(&b_high),
+                        &rows_l,
+                        &serial,
+                        &ctx.workspaces,
+                    )
                 });
                 gpu.spmm_cost_planned(a, b, rows.iter().copied(), Some(mask), w)
             };

@@ -9,12 +9,12 @@
 //! * [`cusparse_like`] — GPU-only spmm over the same warp-per-row model,
 //!   plus both PCIe directions.
 
-use spmm_sparse::{CsrMatrix, Scalar};
+use spmm_sparse::{AccumStrategy, CsrMatrix, Scalar};
 
 use spmm_hetsim::{PhaseBreakdown, PhaseTimes};
 
 use crate::context::HeteroContext;
-use crate::kernels::row_products;
+use crate::kernels::row_products_pooled;
 use crate::merge::concat_row_blocks;
 use crate::result::SpmmOutput;
 
@@ -44,7 +44,15 @@ pub fn mkl_like<T: Scalar>(
     ctx.reset();
     let rows: Vec<usize> = (0..a.nrows()).collect();
     let cpu_ns = ctx.cpu.spmm_cost(a, b, rows.iter().copied(), None) / MKL_ADVANTAGE;
-    let block = row_products(a, b, &rows, None, &ctx.pool);
+    let block = row_products_pooled(
+        a,
+        b,
+        &rows,
+        None,
+        &ctx.pool,
+        &ctx.workspaces,
+        AccumStrategy::default(),
+    );
     let tuples_merged = block.nnz();
     let merge_ns = ctx.cpu.merge_cost(tuples_merged) / MKL_ADVANTAGE;
     let c = concat_row_blocks(&[block], (a.nrows(), b.ncols()), &ctx.pool);
@@ -84,7 +92,15 @@ pub fn cusparse_like<T: Scalar>(
     };
     let mut transfer_ns = ctx.link.transfer_ns(upload);
     let gpu_ns = ctx.gpu.spmm_cost(a, b, rows.iter().copied(), None) * CUSPARSE_PENALTY;
-    let block = row_products(a, b, &rows, None, &ctx.pool);
+    let block = row_products_pooled(
+        a,
+        b,
+        &rows,
+        None,
+        &ctx.pool,
+        &ctx.workspaces,
+        AccumStrategy::default(),
+    );
     let tuples_merged = block.nnz();
     let merge_ns = ctx.gpu.merge_cost(tuples_merged);
     let c = concat_row_blocks(&[block], (a.nrows(), b.ncols()), &ctx.pool);

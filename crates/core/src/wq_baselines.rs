@@ -19,13 +19,13 @@ pub use crate::units::WorkUnitConfig;
 
 use spmm_sparse::{CsrMatrix, Scalar};
 
-use spmm_hetsim::gpu::masked_output_widths;
+use spmm_hetsim::gpu::masked_output_widths_pooled;
 use spmm_hetsim::{DeviceKind, PhaseBreakdown, PhaseTimes};
 use spmm_workqueue::{End, RangeQueue};
 
 use crate::context::HeteroContext;
 use crate::result::SpmmOutput;
-use crate::schedule::{self, ClaimSchedule, ExecPolicy, ScheduledClaim};
+use crate::schedule::{self, ClaimSchedule, ExecConfig, ExecPolicy, ScheduledClaim};
 
 /// Algorithm Unsorted-Workqueue: double-ended dynamic balancing over the
 /// natural row order.
@@ -38,16 +38,17 @@ pub fn unsorted_workqueue<T: Scalar>(
     unsorted_workqueue_with(ctx, a, b, units, ExecPolicy::default())
 }
 
-/// [`unsorted_workqueue`] with an explicit executor policy.
+/// [`unsorted_workqueue`] with an explicit executor configuration (an
+/// [`ExecPolicy`] still works via `Into<ExecConfig>`).
 pub fn unsorted_workqueue_with<T: Scalar>(
     ctx: &mut HeteroContext,
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     units: WorkUnitConfig,
-    exec: ExecPolicy,
+    exec: impl Into<ExecConfig>,
 ) -> SpmmOutput<T> {
     let order: Vec<usize> = (0..a.nrows()).collect();
-    workqueue_over_order(ctx, a, b, units, order, exec)
+    workqueue_over_order(ctx, a, b, units, order, exec.into())
 }
 
 /// Algorithm Sorted-Workqueue: rows sorted ascending by size before
@@ -65,17 +66,18 @@ pub fn sorted_workqueue<T: Scalar>(
     sorted_workqueue_with(ctx, a, b, units, ExecPolicy::default())
 }
 
-/// [`sorted_workqueue`] with an explicit executor policy.
+/// [`sorted_workqueue`] with an explicit executor configuration (an
+/// [`ExecPolicy`] still works via `Into<ExecConfig>`).
 pub fn sorted_workqueue_with<T: Scalar>(
     ctx: &mut HeteroContext,
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     units: WorkUnitConfig,
-    exec: ExecPolicy,
+    exec: impl Into<ExecConfig>,
 ) -> SpmmOutput<T> {
     let mut order: Vec<usize> = (0..a.nrows()).collect();
     order.sort_by_key(|&i| a.row_nnz(i));
-    workqueue_over_order(ctx, a, b, units, order, exec)
+    workqueue_over_order(ctx, a, b, units, order, exec.into())
 }
 
 /// Shared engine: event-driven double-ended claiming of `order` chunks,
@@ -88,7 +90,7 @@ fn workqueue_over_order<T: Scalar>(
     b: &CsrMatrix<T>,
     units: WorkUnitConfig,
     order: Vec<usize>,
-    exec: ExecPolicy,
+    exec: ExecConfig,
 ) -> SpmmOutput<T> {
     assert_eq!(
         a.ncols(),
@@ -106,7 +108,7 @@ fn workqueue_over_order<T: Scalar>(
     // GPU claims are costed against memoized masked output widths — the
     // unmasked table covers every row once, instead of re-walking the
     // stamp array per claim.
-    let w_full = masked_output_widths(a, b, None, &ctx.pool);
+    let w_full = masked_output_widths_pooled(a, b, None, &ctx.pool, &ctx.workspaces);
 
     let queue = RangeQueue::new(order.len());
     let mut cpu_clock = 0.0f64;
@@ -153,7 +155,15 @@ fn workqueue_over_order<T: Scalar>(
     let mut claims = cpu_claims;
     claims.append(&mut gpu_claims);
     let sched = ClaimSchedule { claims };
-    let (c, counts) = schedule::execute(a, b, &sched, (a.nrows(), b.ncols()), &ctx.pool, exec);
+    let (c, counts) = schedule::execute(
+        a,
+        b,
+        &sched,
+        (a.nrows(), b.ncols()),
+        &ctx.pool,
+        &ctx.workspaces,
+        exec,
+    );
 
     let gpu_count = counts.gpu_entries;
     let cpu_count = counts.cpu_entries;

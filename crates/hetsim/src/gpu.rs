@@ -3,7 +3,7 @@
 
 use spmm_cache::{Cache, CacheConfig, CacheStats};
 use spmm_parallel::{DisjointSlice, ThreadPool};
-use spmm_sparse::{CsrMatrix, Scalar};
+use spmm_sparse::{CsrMatrix, Scalar, WorkspacePool};
 
 use crate::platform::GpuSpec;
 use crate::SimNs;
@@ -373,7 +373,7 @@ pub fn masked_output_widths<T: Scalar>(
     b_mask: Option<&[bool]>,
     pool: &ThreadPool,
 ) -> Vec<u32> {
-    widths_impl(a, b, b_mask, None, pool)
+    widths_impl(a, b, b_mask, None, pool, &WorkspacePool::new())
 }
 
 /// [`masked_output_widths`] restricted to the listed A rows — the returned
@@ -387,7 +387,34 @@ pub fn masked_output_widths_for<T: Scalar>(
     rows: &[usize],
     pool: &ThreadPool,
 ) -> Vec<u32> {
-    widths_impl(a, b, b_mask, Some(rows), pool)
+    widths_impl(a, b, b_mask, Some(rows), pool, &WorkspacePool::new())
+}
+
+/// [`masked_output_widths`] drawing the per-thread O(ncols) stamp scratch
+/// from a [`WorkspacePool`] instead of allocating it per call — this is
+/// what lets the Phase-I ladder cost dozens of candidates without dozens
+/// of stamp-array allocations. The count is pure integer work, so the
+/// table is byte-equal to the unpooled call.
+pub fn masked_output_widths_pooled<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+) -> Vec<u32> {
+    widths_impl(a, b, b_mask, None, pool, workspaces)
+}
+
+/// [`masked_output_widths_for`] with pooled stamp scratch.
+pub fn masked_output_widths_for_pooled<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    b_mask: Option<&[bool]>,
+    rows: &[usize],
+    pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+) -> Vec<u32> {
+    widths_impl(a, b, b_mask, Some(rows), pool, workspaces)
 }
 
 fn widths_impl<T: Scalar>(
@@ -396,6 +423,7 @@ fn widths_impl<T: Scalar>(
     b_mask: Option<&[bool]>,
     rows: Option<&[usize]>,
     pool: &ThreadPool,
+    workspaces: &WorkspacePool,
 ) -> Vec<u32> {
     let len = rows.map_or(a.nrows(), <[usize]>::len);
     let mut widths = vec![0u32; a.nrows()];
@@ -403,20 +431,14 @@ fn widths_impl<T: Scalar>(
     pool.for_each_guided_with(
         len,
         64,
-        || (vec![u32::MAX; b.ncols()], 0u32),
-        |(stamp, gen), range| {
+        || workspaces.acquire_sizer(b.ncols()),
+        |sizer, range| {
             for k in range {
                 let i = rows.map_or(k, |r| r[k]);
                 let (acols, _) = a.row(i);
                 if acols.is_empty() {
                     continue;
                 }
-                *gen = gen.wrapping_add(1);
-                if *gen == u32::MAX {
-                    stamp.iter_mut().for_each(|s| *s = u32::MAX);
-                    *gen = 0;
-                }
-                let mut width = 0u32;
                 for &j in acols {
                     let j = j as usize;
                     if let Some(mask) = b_mask {
@@ -425,15 +447,11 @@ fn widths_impl<T: Scalar>(
                         }
                     }
                     for &c in b.row(j).0 {
-                        let slot = &mut stamp[c as usize];
-                        if *slot != *gen {
-                            *slot = *gen;
-                            width += 1;
-                        }
+                        sizer.mark(c);
                     }
                 }
                 // each row written by at most one claimant (rows unique)
-                unsafe { out.write(i, width) };
+                unsafe { out.write(i, sizer.finish_row() as u32) };
             }
         },
     );

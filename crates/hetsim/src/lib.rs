@@ -33,7 +33,10 @@ pub mod platform;
 pub mod profile;
 
 pub use cpu::CpuDevice;
-pub use gpu::{masked_output_widths, masked_output_widths_for, GpuDevice};
+pub use gpu::{
+    masked_output_widths, masked_output_widths_for, masked_output_widths_for_pooled,
+    masked_output_widths_pooled, GpuDevice,
+};
 pub use link::PciLink;
 pub use platform::{CpuSpec, GpuSpec, LinkSpec, Platform};
 pub use profile::{DeviceKind, PhaseBreakdown, PhaseTimes};

@@ -8,11 +8,42 @@
 //! rows is O(touched), not O(ncols), so one accumulator amortises across
 //! every row a thread processes.
 //!
-//! Two variants live here: [`SparseAccumulator`] for the numeric pass and
-//! [`RowSizer`] for the symbolic pass, which only needs distinct-column
-//! counts and therefore skips the value array entirely.
+//! Scale-free inputs spread intermediate row sizes over orders of
+//! magnitude, so one accumulator shape cannot fit every row. Three numeric
+//! variants live here, all implementing [`RowAccumulator`] with *exactly*
+//! the same observable semantics — the first touch of a column sets its
+//! value, every later touch `+=`s in visit order, and the drain emits
+//! ascending by column — so swapping variants never changes a single
+//! output bit:
+//!
+//! * [`SparseAccumulator`] — the classic dense SPA (O(ncols) value +
+//!   stamp arrays, O(touched) clear, sort at drain). Right for hub rows
+//!   whose intermediate size approaches the column count.
+//! * [`HashAccumulator`] — generation-stamped open addressing. No
+//!   O(ncols) state; right for mid-size rows where the SPA's scattered
+//!   dense-array traffic wastes cache.
+//! * [`ListAccumulator`] — sorted insertion into a short column/value
+//!   pair list. No O(ncols) state *and* no sort at drain; right for the
+//!   tiny-row tail that dominates scale-free row counts.
+//!
+//! [`RowSizer`] is the symbolic-pass companion: it only needs
+//! distinct-column counts and therefore skips the value array entirely.
 
 use crate::{ColIndex, Scalar};
+
+/// Common surface of the numeric accumulator variants. All implementors
+/// share the bit-identical contract documented on the module: first touch
+/// sets, later touches `+=` in visit order, drain ascending by column.
+pub trait RowAccumulator<T: Scalar> {
+    /// Add `val` to the current row's column `col`. Returns `true` when
+    /// this is the first contribution to that column for this row.
+    fn scatter(&mut self, col: ColIndex, val: T) -> bool;
+    /// Distinct columns touched so far in the current row.
+    fn nnz(&self) -> usize;
+    /// Drain the current row in ascending column order, invoking
+    /// `f(col, value)` per entry, and reset for the next row.
+    fn drain_sorted<F: FnMut(ColIndex, T)>(&mut self, f: F);
+}
 
 /// Gustavson sparse accumulator: scatter `(col, val)` contributions for one
 /// output row, then drain them in column order. Reusable across rows; build
@@ -39,6 +70,17 @@ impl<T: Scalar> SparseAccumulator<T> {
     /// Number of columns this accumulator covers.
     pub fn ncols(&self) -> usize {
         self.stamp.len()
+    }
+
+    /// Grow to cover at least `ncols` columns. New stamps start at 0,
+    /// which never equals the live generation (it starts at 1 and resets
+    /// to 1 on wrap), so grown slots read as untouched — pooled
+    /// workspaces reuse one accumulator across matrices of any width.
+    pub fn ensure_ncols(&mut self, ncols: usize) {
+        if self.stamp.len() < ncols {
+            self.stamp.resize(ncols, 0);
+            self.values.resize(ncols, T::ZERO);
+        }
     }
 
     /// Add `val` to the current row's column `col`. Returns `true` when
@@ -84,6 +126,192 @@ impl<T: Scalar> SparseAccumulator<T> {
     }
 }
 
+impl<T: Scalar> RowAccumulator<T> for SparseAccumulator<T> {
+    #[inline]
+    fn scatter(&mut self, col: ColIndex, val: T) -> bool {
+        SparseAccumulator::scatter(self, col, val)
+    }
+    fn nnz(&self) -> usize {
+        SparseAccumulator::nnz(self)
+    }
+    fn drain_sorted<F: FnMut(ColIndex, T)>(&mut self, f: F) {
+        SparseAccumulator::drain_sorted(self, f)
+    }
+}
+
+/// Sorted-insertion accumulator for tiny rows: columns and values live in
+/// one short list kept ascending by column at all times, so the drain is a
+/// plain walk — no O(ncols) arrays to stamp, nothing to sort. Insertion is
+/// O(len) per scatter, which is exactly right while `len` stays below a
+/// couple of cache lines (the adaptive engine only routes rows whose
+/// intermediate size is tiny here).
+#[derive(Debug, Clone, Default)]
+pub struct ListAccumulator<T> {
+    cols: Vec<ColIndex>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> ListAccumulator<T> {
+    /// Empty accumulator. Capacity grows on demand and is retained across
+    /// rows, so a pooled instance settles at the largest tiny row seen.
+    pub fn new() -> Self {
+        Self {
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+}
+
+impl<T: Scalar> RowAccumulator<T> for ListAccumulator<T> {
+    #[inline]
+    fn scatter(&mut self, col: ColIndex, val: T) -> bool {
+        match self.cols.binary_search(&col) {
+            Ok(i) => {
+                self.vals[i] += val;
+                false
+            }
+            Err(i) => {
+                self.cols.insert(i, col);
+                self.vals.insert(i, val);
+                true
+            }
+        }
+    }
+
+    fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn drain_sorted<F: FnMut(ColIndex, T)>(&mut self, mut f: F) {
+        for (&c, &v) in self.cols.iter().zip(&self.vals) {
+            f(c, v);
+        }
+        self.cols.clear();
+        self.vals.clear();
+    }
+}
+
+/// Open-addressing accumulator for mid-size rows: a generation-stamped
+/// linear-probe table sized to the engine's hash-bin ceiling, so clearing
+/// between rows is a generation bump and the working set stays a few tens
+/// of KB regardless of the output's column count. The drain sorts the
+/// touched-column list (mid-size, so the sort is cheap) and re-probes each
+/// column for its value.
+#[derive(Debug, Clone)]
+pub struct HashAccumulator<T> {
+    keys: Vec<ColIndex>,
+    vals: Vec<T>,
+    stamp: Vec<u32>,
+    generation: u32,
+    touched: Vec<ColIndex>,
+}
+
+/// Fibonacci-hash multiplier (2^32 / φ), spreads consecutive columns.
+const HASH_MULT: u32 = 0x9E37_79B9;
+
+impl<T: Scalar> HashAccumulator<T> {
+    /// Accumulator able to hold `max_entries` distinct columns per row at
+    /// ≤ 50% load (the table is the next power of two ≥ 2 × max_entries).
+    pub fn with_capacity(max_entries: usize) -> Self {
+        let slots = (max_entries.max(4) * 2).next_power_of_two();
+        Self {
+            keys: vec![0; slots],
+            vals: vec![T::ZERO; slots],
+            stamp: vec![0; slots],
+            generation: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Distinct columns this accumulator holds per row at ≤ 50% load.
+    pub fn capacity(&self) -> usize {
+        self.keys.len() / 2
+    }
+
+    /// Grow the table (between rows only) so `max_entries` distinct
+    /// columns fit at ≤ 50% load.
+    pub fn ensure_capacity(&mut self, max_entries: usize) {
+        debug_assert!(self.touched.is_empty(), "resize only between rows");
+        if self.capacity() < max_entries {
+            *self = Self::with_capacity(max_entries);
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, col: ColIndex) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut i = (col.wrapping_mul(HASH_MULT) as usize) & mask;
+        // the caller keeps load ≤ 50% (grow() runs before the table can
+        // fill), so an empty-or-matching slot always exists
+        while self.stamp[i] == self.generation && self.keys[i] != col {
+            i = (i + 1) & mask;
+        }
+        i
+    }
+
+    /// Double the table mid-row, re-inserting the touched columns. Values
+    /// move verbatim (each column's partial sum is one `T`), so growth is
+    /// invisible to the accumulation semantics.
+    #[cold]
+    fn grow(&mut self) {
+        let mut bigger = Self::with_capacity(self.keys.len());
+        for &c in &self.touched {
+            let from = self.slot_of(c);
+            let to = bigger.slot_of(c);
+            bigger.stamp[to] = bigger.generation;
+            bigger.keys[to] = c;
+            bigger.vals[to] = self.vals[from];
+        }
+        bigger.touched = std::mem::take(&mut self.touched);
+        *self = bigger;
+    }
+
+    fn advance_generation(&mut self) {
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+}
+
+impl<T: Scalar> RowAccumulator<T> for HashAccumulator<T> {
+    #[inline]
+    fn scatter(&mut self, col: ColIndex, val: T) -> bool {
+        let i = self.slot_of(col);
+        if self.stamp[i] == self.generation {
+            self.vals[i] += val;
+            false
+        } else {
+            if self.touched.len() >= self.capacity() {
+                self.grow();
+                return self.scatter(col, val);
+            }
+            self.stamp[i] = self.generation;
+            self.keys[i] = col;
+            self.vals[i] = val;
+            self.touched.push(col);
+            true
+        }
+    }
+
+    fn nnz(&self) -> usize {
+        self.touched.len()
+    }
+
+    fn drain_sorted<F: FnMut(ColIndex, T)>(&mut self, mut f: F) {
+        self.touched.sort_unstable();
+        let touched = std::mem::take(&mut self.touched);
+        for &c in &touched {
+            f(c, self.vals[self.slot_of(c)]);
+        }
+        self.touched = touched;
+        self.touched.clear();
+        self.advance_generation();
+    }
+}
+
 /// Symbolic-pass companion of [`SparseAccumulator`]: counts the distinct
 /// columns of one output row without storing values. This is the first
 /// pass of the two-pass engine — its counts size each CSR row exactly, so
@@ -108,6 +336,15 @@ impl RowSizer {
     /// Number of columns this sizer covers.
     pub fn ncols(&self) -> usize {
         self.stamp.len()
+    }
+
+    /// Grow to cover at least `ncols` columns (same soundness argument as
+    /// [`SparseAccumulator::ensure_ncols`]: fresh stamps are 0, the live
+    /// generation is never 0).
+    pub fn ensure_ncols(&mut self, ncols: usize) {
+        if self.stamp.len() < ncols {
+            self.stamp.resize(ncols, 0);
+        }
     }
 
     /// Mark column `col` as present in the current row. Returns `true` on
@@ -224,5 +461,123 @@ mod tests {
         let mut spa = SparseAccumulator::<f64>::new(4);
         spa.drain_sorted(|_, _| panic!("no entries expected"));
         assert_eq!(spa.nnz(), 0);
+    }
+
+    /// Deterministic pseudo-random (col, val) stream with plenty of
+    /// duplicate columns, exercising FP-order-sensitive accumulation:
+    /// the values are chosen so that reordering any two `+=`s of the same
+    /// column changes the rounded bits.
+    fn touch_stream(len: usize, ncols: u32, seed: u64) -> Vec<(ColIndex, f64)> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let col = (state % u64::from(ncols)) as ColIndex;
+            // wildly varying magnitudes force rounding, making the sum
+            // order-sensitive — the equivalence check below is therefore a
+            // real bit-identity check, not an algebraic one
+            let val = (1.0 + i as f64) * 10f64.powi((state >> 32) as i32 % 17 - 8);
+            out.push((col, val));
+        }
+        out
+    }
+
+    fn run_variant<A: RowAccumulator<f64>>(
+        acc: &mut A,
+        stream: &[(ColIndex, f64)],
+    ) -> (Vec<bool>, Vec<(ColIndex, u64)>) {
+        let firsts: Vec<bool> = stream.iter().map(|&(c, v)| acc.scatter(c, v)).collect();
+        let mut out = Vec::with_capacity(acc.nnz());
+        acc.drain_sorted(|c, v| out.push((c, v.to_bits())));
+        (firsts, out)
+    }
+
+    #[test]
+    fn variants_are_bit_identical_across_sizes() {
+        // Sweep row sizes at and around the adaptive engine's default bin
+        // thresholds (list ≤ 8, hash ≤ 1024) plus the degenerate cases.
+        let mut spa = SparseAccumulator::<f64>::new(4096);
+        let mut list = ListAccumulator::<f64>::new();
+        let mut hash = HashAccumulator::<f64>::with_capacity(4);
+        for (i, &len) in [0usize, 1, 7, 8, 9, 64, 1023, 1024, 1025, 3000]
+            .iter()
+            .enumerate()
+        {
+            let stream = touch_stream(len, 4096, i as u64 + 1);
+            let dense = run_variant(&mut spa, &stream);
+            let tiny = run_variant(&mut list, &stream);
+            let mid = run_variant(&mut hash, &stream);
+            assert_eq!(dense, tiny, "list variant diverged at len {len}");
+            assert_eq!(dense, mid, "hash variant diverged at len {len}");
+        }
+    }
+
+    #[test]
+    fn variants_stay_identical_across_reused_rows() {
+        // Pooled accumulators process many rows back to back; state from
+        // one row must never leak into the next for any variant.
+        let mut spa = SparseAccumulator::<f64>::new(256);
+        let mut list = ListAccumulator::<f64>::new();
+        let mut hash = HashAccumulator::<f64>::with_capacity(4);
+        for row in 0..50u64 {
+            let stream = touch_stream((row as usize * 7) % 40, 256, row + 100);
+            let dense = run_variant(&mut spa, &stream);
+            assert_eq!(dense, run_variant(&mut list, &stream), "row {row}");
+            assert_eq!(dense, run_variant(&mut hash, &stream), "row {row}");
+        }
+    }
+
+    #[test]
+    fn hash_generation_wrap_is_sound() {
+        let mut hash = HashAccumulator::<f64>::with_capacity(8);
+        hash.generation = u32::MAX - 1;
+        hash.scatter(2, 1.0);
+        hash.drain_sorted(|_, _| {});
+        hash.scatter(2, 2.0);
+        let mut out = Vec::new();
+        hash.drain_sorted(|c, v| out.push((c, v)));
+        assert_eq!(out, vec![(2, 2.0)]);
+        // past the wrap: the stale stamp==1 entries must not alias
+        assert!(hash.scatter(2, 3.0), "stale stamp aliased after wrap");
+        let mut out = Vec::new();
+        hash.drain_sorted(|c, v| out.push((c, v)));
+        assert_eq!(out, vec![(2, 3.0)]);
+    }
+
+    #[test]
+    fn hash_grows_mid_row_without_losing_sums() {
+        // Start tiny so several doublings happen mid-row; partial sums and
+        // first-touch bookkeeping must survive each rebuild.
+        let mut hash = HashAccumulator::<f64>::with_capacity(1);
+        let stream = touch_stream(500, 64, 42);
+        let got = run_variant(&mut hash, &stream);
+        let mut spa = SparseAccumulator::<f64>::new(64);
+        let want = run_variant(&mut spa, &stream);
+        assert_eq!(got, want);
+        assert!(hash.capacity() >= 64, "table should have grown");
+    }
+
+    #[test]
+    fn ensure_ncols_grows_without_aliasing() {
+        let mut spa = SparseAccumulator::<f64>::new(2);
+        spa.scatter(1, 5.0);
+        spa.drain_sorted(|_, _| {});
+        spa.ensure_ncols(10);
+        assert_eq!(spa.ncols(), 10);
+        assert!(spa.scatter(9, 1.0), "grown slot must read untouched");
+        assert!(spa.scatter(1, 2.0));
+        let mut out = Vec::new();
+        spa.drain_sorted(|c, v| out.push((c, v)));
+        assert_eq!(out, vec![(1, 2.0), (9, 1.0)]);
+
+        let mut sizer = RowSizer::new(2);
+        sizer.mark(0);
+        sizer.finish_row();
+        sizer.ensure_ncols(8);
+        assert!(sizer.mark(7));
+        assert!(sizer.mark(0));
+        assert_eq!(sizer.finish_row(), 2);
     }
 }

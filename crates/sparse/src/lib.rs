@@ -20,6 +20,7 @@
 //! the host-side two-pass numeric engine.
 
 pub mod accumulator;
+pub mod binning;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -31,8 +32,14 @@ pub mod io;
 pub mod ops;
 pub mod reference;
 pub mod scalar;
+pub mod workspace;
 
-pub use accumulator::{RowSizer, SparseAccumulator};
+pub use accumulator::{
+    HashAccumulator, ListAccumulator, RowAccumulator, RowSizer, SparseAccumulator,
+};
+pub use binning::{
+    chunk_for, AccumStrategy, BinThresholds, RowBin, RowBins, GUIDED_CHUNK, TINY_PRODUCT_FLOPS,
+};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
@@ -41,6 +48,7 @@ pub use ell::EllMatrix;
 pub use error::SparseError;
 pub use histogram::RowHistogram;
 pub use scalar::Scalar;
+pub use workspace::{EngineWorkspace, PooledSizer, PooledWorkspace, WorkspacePool};
 
 /// Index type used for column indices. `u32` halves the memory traffic of the
 /// kernels relative to `usize`; all matrices in the paper's dataset fit

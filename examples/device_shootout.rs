@@ -18,6 +18,9 @@
 //!   candidate-parallel and runs a Figure-8-style threshold sweep on three
 //!   probe matrices, failing if any picked threshold drifts from the
 //!   committed goldens (`tests/golden/thresholds.txt`);
+//! * times end-to-end `hh_cpu` per-claim vs batched, and fixed dense-SPA
+//!   vs the adaptive row-binned accumulator engine, on every Table I
+//!   clone, failing on any bit of output or profile drift;
 //! * writes every wall-clock number to `BENCH_pr.json` (override the path
 //!   with `BENCH_JSON`).
 
@@ -89,9 +92,10 @@ fn main() {
     let engine = smoke_perf();
     let phase1 = phase1_perf();
     let exec = exec_perf();
+    let spa = spa_perf();
 
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_pr.json".into());
-    let json = format!("{{\n{engine},\n{phase1},\n{exec}\n}}\n");
+    let json = format!("{{\n{engine},\n{phase1},\n{exec},\n{spa}\n}}\n");
     std::fs::write(&path, json).expect("write smoke-perf artifact");
     println!("wrote {path}");
 }
@@ -365,6 +369,84 @@ fn exec_perf() -> String {
          \"exec_speedup\": {:.4},\n  \
          \"exec_matrices\": [\n{}\n  ]",
         serial_total / batched_total,
+        rows.join(",\n"),
+    )
+}
+
+/// Time end-to-end `hh_cpu` with the fixed dense-SPA accumulator vs the
+/// adaptive row-binned engine on every Table I clone, and fail hard if the
+/// adaptive product or its simulated profile deviates by a single bit.
+/// Returns the JSON fragment for the CI artifact.
+fn spa_perf() -> String {
+    let threads = 8;
+    let reps = 3;
+    let fixed_cfg = HhCpuConfig {
+        accum: AccumStrategy::FixedSpa,
+        ..HhCpuConfig::default()
+    };
+    let adaptive_cfg = HhCpuConfig::default();
+
+    println!("\nspa-perf: hh_cpu end to end, fixed SPA vs adaptive row-binned accumulators ({threads} host threads, best of {reps}):");
+    let mut rows = Vec::new();
+    let (mut fixed_total, mut adaptive_total) = (0.0f64, 0.0f64);
+    for d in Dataset::all() {
+        let name = d.entry().name;
+        let a = d.load::<f64>(32);
+        let mut ctx = HeteroContext::scaled(d.effective_scale(32)).with_host_threads(threads);
+
+        // correctness gate before timing: the adaptive engine must
+        // reproduce the fixed-SPA run exactly
+        let want = hh_cpu(&mut ctx, &a, &a, &fixed_cfg);
+        let got = hh_cpu(&mut ctx, &a, &a, &adaptive_cfg);
+        assert_eq!(got.c, want.c, "{name}: adaptive engine changed C");
+        assert_eq!(
+            got.profile, want.profile,
+            "{name}: adaptive engine changed the simulated profile"
+        );
+        assert_eq!(
+            (got.threshold_a, got.threshold_b),
+            (want.threshold_a, want.threshold_b),
+            "{name}: adaptive engine changed the thresholds"
+        );
+        assert_eq!(
+            got.tuples_merged, want.tuples_merged,
+            "{name}: adaptive engine changed tuples_merged"
+        );
+
+        let (mut fixed_ms, mut adaptive_ms) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(hh_cpu(&mut ctx, &a, &a, &fixed_cfg));
+            fixed_ms = fixed_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+            let t0 = Instant::now();
+            std::hint::black_box(hh_cpu(&mut ctx, &a, &a, &adaptive_cfg));
+            adaptive_ms = adaptive_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        println!(
+            "  {name:<14} fixed {fixed_ms:>8.2} ms | adaptive {adaptive_ms:>8.2} ms | {:.2}x",
+            fixed_ms / adaptive_ms
+        );
+        fixed_total += fixed_ms;
+        adaptive_total += adaptive_ms;
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"spa_fixed_ms\": {fixed_ms:.4}, \
+             \"spa_adaptive_ms\": {adaptive_ms:.4}, \"spa_speedup\": {:.4}}}",
+            fixed_ms / adaptive_ms
+        ));
+    }
+    println!(
+        "  spa total: fixed {fixed_total:.2} ms | adaptive {adaptive_total:.2} ms | {:.2}x",
+        fixed_total / adaptive_total
+    );
+
+    format!(
+        "  \"spa_host_threads\": {threads},\n  \
+         \"spa_fixed_ms\": {fixed_total:.4},\n  \
+         \"spa_adaptive_ms\": {adaptive_total:.4},\n  \
+         \"spa_speedup\": {:.4},\n  \
+         \"spa_matrices\": [\n{}\n  ]",
+        fixed_total / adaptive_total,
         rows.join(",\n"),
     )
 }

@@ -60,9 +60,9 @@ pub mod prelude {
     pub use spmm_core::{
         csrmm::{cpu_csrmm, gpu_csrmm, hh_csrmm},
         cusparse_like, hh_cpu, hipc2012, hipc2012_with, mkl_like, sorted_workqueue,
-        sorted_workqueue_with, unsorted_workqueue, unsorted_workqueue_with, ExecPolicy,
-        HeteroContext, HhCpuConfig, PhaseBreakdown, Platform, SpmmOutput, ThresholdPolicy,
-        WorkUnitConfig,
+        sorted_workqueue_with, unsorted_workqueue, unsorted_workqueue_with, AccumStrategy,
+        ExecConfig, ExecPolicy, HeteroContext, HhCpuConfig, PhaseBreakdown, Platform, SpmmOutput,
+        ThresholdPolicy, WorkUnitConfig,
     };
     pub use spmm_scalefree::{
         fit_power_law, rmat, scale_free_matrix, Dataset, GeneratorConfig, PowerLawSampler,
