@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Gate BENCH_pr.json against the committed perf floors.
+
+Usage: check_bench_floors.py [BENCH_pr.json [tests/golden/bench_floors.json]]
+
+Every non-underscore key in the floors file must be present in the bench
+artifact and meet its floor. Exit 1 on any missing key or regression, so
+the smoke-perf job fails instead of silently shipping a slowdown.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr.json"
+    floors_path = (
+        sys.argv[2] if len(sys.argv) > 2 else "tests/golden/bench_floors.json"
+    )
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(floors_path) as f:
+        floors = json.load(f)
+
+    failures = []
+    for key, floor in sorted(floors.items()):
+        if key.startswith("_"):
+            continue
+        value = bench.get(key)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key}: missing from {bench_path}")
+            continue
+        status = "ok" if value >= floor else "FAIL"
+        print(f"{status:>4}  {key:<22} {value:>10.4f}  (floor {floor})")
+        if value < floor:
+            failures.append(f"{key}: {value:.4f} < floor {floor}")
+
+    if failures:
+        print(f"\n{len(failures)} floor violation(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall perf floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

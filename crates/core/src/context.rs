@@ -1,5 +1,7 @@
 //! Execution context: the simulated platform plus host-side parallelism.
 
+use std::sync::Arc;
+
 use spmm_hetsim::{CpuDevice, GpuDevice, PciLink, Platform};
 use spmm_parallel::ThreadPool;
 use spmm_sparse::WorkspacePool;
@@ -22,7 +24,11 @@ pub struct HeteroContext {
     pub gpu: GpuDevice,
     pub link: PciLink,
     pub pool: ThreadPool,
-    pub workspaces: WorkspacePool,
+    /// Shared across contexts: a service layer hands every request its own
+    /// (cheap, stateful) device models but one workspace pool, so scratch
+    /// allocations amortise across the whole request stream. Deref
+    /// coercion keeps `&ctx.workspaces` working at every call site.
+    pub workspaces: Arc<WorkspacePool>,
 }
 
 impl HeteroContext {
@@ -33,13 +39,26 @@ impl HeteroContext {
 
     /// Context over an arbitrary platform spec.
     pub fn new(platform: Platform) -> Self {
+        Self::with_shared(platform, ThreadPool::host(), Arc::new(WorkspacePool::new()))
+    }
+
+    /// Context whose host pool and workspace pool are shared with other
+    /// contexts — the building block of the serve layer, where each request
+    /// gets fresh device state (simulated caches start cold, exactly like a
+    /// single-shot context) but every request draws scratch from one
+    /// process-wide pool.
+    pub fn with_shared(
+        platform: Platform,
+        pool: ThreadPool,
+        workspaces: Arc<WorkspacePool>,
+    ) -> Self {
         Self {
             platform,
             cpu: CpuDevice::new(platform.cpu),
             gpu: GpuDevice::new(platform.gpu),
             link: PciLink::new(platform.link),
-            pool: ThreadPool::host(),
-            workspaces: WorkspacePool::new(),
+            pool,
+            workspaces,
         }
     }
 
@@ -115,6 +134,18 @@ mod tests {
         let ctx = HeteroContext::paper();
         assert_eq!(ctx.platform.cpu.cores, 6);
         assert!(ctx.pool.num_threads() >= 1);
+    }
+
+    #[test]
+    fn shared_contexts_draw_from_one_workspace_pool() {
+        let shared = Arc::new(WorkspacePool::new());
+        let a = HeteroContext::with_shared(Platform::paper(), ThreadPool::new(1), shared.clone());
+        let b = HeteroContext::with_shared(Platform::paper(), ThreadPool::new(1), shared.clone());
+        drop(a.workspaces.acquire::<f64>(128));
+        assert_eq!(shared.idle_workspaces::<f64>(), 1);
+        // the second context checks the same workspace back out
+        drop(b.workspaces.acquire::<f64>(64));
+        assert_eq!(shared.idle_workspaces::<f64>(), 1);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod vendor;
 pub mod wq_baselines;
 
 pub use context::HeteroContext;
-pub use hhcpu::{hh_cpu, HhCpuConfig};
+pub use hhcpu::{hh_cpu, hh_cpu_with_artifacts, HhCpuConfig, SpmmArtifacts};
 pub use hipc2012::{hipc2012, hipc2012_with};
 pub use result::SpmmOutput;
 pub use schedule::{ClaimSchedule, ExecConfig, ExecCounts, ExecPolicy, ScheduledClaim};

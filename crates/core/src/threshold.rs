@@ -21,8 +21,10 @@ use spmm_sparse::{CsrMatrix, RowHistogram, Scalar};
 
 use crate::context::HeteroContext;
 
-/// How Phase I picks the thresholds `t_A` and `t_B`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// How Phase I picks the thresholds `t_A` and `t_B`. `Eq`/`Hash` are
+/// derived (every variant is integer-parameterised) so a policy can key a
+/// serve-layer artifact cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ThresholdPolicy {
     /// Use these exact thresholds for A and B.
     Fixed { t_a: usize, t_b: usize },
@@ -208,6 +210,11 @@ impl SymbolicStructure {
     /// Rows in the matrix.
     pub fn nrows(&self) -> usize {
         self.row_sizes.len()
+    }
+
+    /// Approximate heap footprint, for serve-layer cache accounting.
+    pub fn byte_size(&self) -> usize {
+        (self.row_sizes.len() + self.sorted_sizes.len()) * 4 + self.prefix_nnz.len() * 8
     }
 
     /// Total stored entries.

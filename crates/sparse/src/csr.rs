@@ -334,6 +334,37 @@ impl<T: Scalar> CsrMatrix<T> {
             + self.values.len() * std::mem::size_of::<T>()
     }
 
+    /// Deterministic 64-bit content hash over the exact stored
+    /// representation: shape, row pointers, column indices, and the *bit
+    /// patterns* of the values (FNV-1a). Two matrices hash equal iff they
+    /// are `==` as CSR structures — `-0.0` vs `+0.0` and differently-NaN
+    /// payloads hash differently, which is exactly what a bit-identity
+    /// contract wants. This keys the serve layer's matrix registry and
+    /// doubles as a wire-size proof of bit equality for results.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.nrows as u64);
+        mix(self.ncols as u64);
+        for &p in &self.indptr {
+            mix(p as u64);
+        }
+        for &c in &self.indices {
+            mix(c as u64);
+        }
+        for &v in &self.values {
+            mix(v.value_bits());
+        }
+        h
+    }
+
     /// Element-wise approximate equality; shapes must match and entries are
     /// compared through dense expansion of both (test helper).
     pub fn approx_eq(&self, other: &CsrMatrix<T>, rtol: f64, atol: f64) -> bool {

@@ -38,6 +38,10 @@ pub trait Scalar:
     /// Lossy conversion to `f64`, for tolerance comparisons.
     fn to_f64(self) -> f64;
 
+    /// The raw bit pattern, zero-extended to 64 bits — the unit of the
+    /// bit-identity contract (content hashing, exact-equality gates).
+    fn value_bits(self) -> u64;
+
     /// `|a - b| <= atol + rtol * |b|`, the standard allclose predicate.
     fn approx_eq(self, other: Self, rtol: f64, atol: f64) -> bool {
         let (a, b) = (self.to_f64(), other.to_f64());
@@ -62,6 +66,10 @@ macro_rules! impl_scalar {
             #[inline]
             fn to_f64(self) -> f64 {
                 self as f64
+            }
+            #[inline]
+            fn value_bits(self) -> u64 {
+                self.to_bits() as u64
             }
         }
     };

@@ -21,8 +21,11 @@
 //! * times end-to-end `hh_cpu` per-claim vs batched, and fixed dense-SPA
 //!   vs the adaptive row-binned accumulator engine, on every Table I
 //!   clone, failing on any bit of output or profile drift;
+//! * replays the serve-layer request trace cold vs warm through
+//!   `SpmmService`, failing on any warm-vs-cold bit drift;
 //! * writes every wall-clock number to `BENCH_pr.json` (override the path
-//!   with `BENCH_JSON`).
+//!   with `BENCH_JSON`), which `ci/check_bench_floors.py` gates against
+//!   `tests/golden/bench_floors.json`.
 
 use std::time::Instant;
 
@@ -32,6 +35,7 @@ use hetero_spmm::core::{threshold, SymbolicStructure};
 use hetero_spmm::hetsim::{CpuDevice, GpuDevice};
 use hetero_spmm::parallel::ThreadPool;
 use hetero_spmm::prelude::*;
+use hetero_spmm::serve::{replay, MultiplyRequest, ReplayOptions, ServiceConfig, SpmmService};
 
 fn run(name: &str, a: &CsrMatrix<f64>, cpu: &mut CpuDevice, gpu: &mut GpuDevice) {
     cpu.reset();
@@ -93,9 +97,10 @@ fn main() {
     let phase1 = phase1_perf();
     let exec = exec_perf();
     let spa = spa_perf();
+    let serve = serve_perf();
 
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_pr.json".into());
-    let json = format!("{{\n{engine},\n{phase1},\n{exec},\n{spa}\n}}\n");
+    let json = format!("{{\n{engine},\n{phase1},\n{exec},\n{spa},\n{serve}\n}}\n");
     std::fs::write(&path, json).expect("write smoke-perf artifact");
     println!("wrote {path}");
 }
@@ -153,7 +158,7 @@ fn smoke_perf() -> String {
          \"repetitions\": {reps},\n  \
          \"engine_ms\": {engine_ms:.4},\n  \
          \"tuple_path_ms\": {tuple_ms:.4},\n  \
-         \"speedup\": {:.4}",
+         \"engine_speedup\": {:.4}",
         a.nrows(),
         a.nnz(),
         via_engine.nnz(),
@@ -448,5 +453,115 @@ fn spa_perf() -> String {
          \"spa_matrices\": [\n{}\n  ]",
         fixed_total / adaptive_total,
         rows.join(",\n"),
+    )
+}
+
+/// Load the serve trace's operands into `service` (untimed setup) and
+/// return the distinct products the trace multiplies.
+fn serve_fixture(service: &SpmmService) -> Vec<MultiplyRequest> {
+    for name in ["wiki-Vote", "email-Enron", "ca-CondMat", "scircuit"] {
+        service.load_dataset(name, 32).expect("catalog dataset");
+    }
+    service.load_generated(Some("web-a"), 1_200, 6_000, 2.2, 21, 1);
+    service.load_generated(Some("web-b"), 1_200, 7_200, 2.6, 22, 1);
+    [
+        ("wiki-Vote", "wiki-Vote"),
+        ("email-Enron", "email-Enron"),
+        ("ca-CondMat", "ca-CondMat"),
+        ("scircuit", "scircuit"),
+        ("web-a", "web-a"),
+        ("web-a", "web-b"),
+        ("web-b", "web-b"),
+    ]
+    .into_iter()
+    .map(|(a, b)| MultiplyRequest::new(a, b))
+    .collect()
+}
+
+/// Replay the serve-layer trace through `SpmmService` and time the same
+/// multiplies cold (fresh service, artifact cache empty) vs warm (cache
+/// hit on every product). Hard-fails on any warm-vs-cold bit drift —
+/// every warm output is compared against the cold pass *and* against a
+/// fresh single-shot `HeteroContext` run. Returns the JSON fragment for
+/// the CI artifact.
+fn serve_perf() -> String {
+    // gate first: replay the committed trace with cold verification, then
+    // a second pass that must be fully warm and bit-identical
+    let trace = include_str!("../tests/golden/serve_trace.jsonl");
+    let service = SpmmService::new(ServiceConfig::default());
+    let options = ReplayOptions {
+        verify_cold: true,
+        wire_selftest: true,
+    };
+    let first = replay::replay_trace(&service, trace, &options).expect("trace replays");
+    let second = replay::replay_trace(&service, trace, &options).expect("trace replays warm");
+    assert!(
+        first.drifts.is_empty(),
+        "cold pass drift: {:?}",
+        first.drifts
+    );
+    assert!(
+        second.drifts.is_empty(),
+        "warm pass drift: {:?}",
+        second.drifts
+    );
+    assert_eq!(
+        second.warm_artifact_hits, second.multiplies,
+        "second replay pass must be fully warm"
+    );
+    for (a, b) in first.outputs.iter().zip(&second.outputs) {
+        replay::diff_outputs(&a.reply.output, &b.reply.output)
+            .expect("warm replay bit-identical to cold replay");
+    }
+    let requests = first.requests;
+
+    // timing: the trace's distinct products, cold (best of fresh services)
+    // vs warm (best of repeat passes on one service)
+    let reps = 2;
+    let mut cold_ms = f64::INFINITY;
+    let mut service = SpmmService::new(ServiceConfig::default());
+    for rep in 0..reps {
+        let fresh = SpmmService::new(ServiceConfig::default());
+        let products = serve_fixture(&fresh);
+        let t0 = Instant::now();
+        for req in &products {
+            let reply = fresh.multiply(req).expect("cold multiply");
+            assert!(!reply.warm, "cold pass unexpectedly hit the artifact cache");
+            std::hint::black_box(reply);
+        }
+        cold_ms = cold_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        if rep == reps - 1 {
+            service = fresh;
+        }
+    }
+    let products = serve_fixture(&service);
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..reps + 1 {
+        let t0 = Instant::now();
+        for req in &products {
+            let reply = service.multiply(req).expect("warm multiply");
+            assert!(reply.warm, "warm pass missed the artifact cache");
+            std::hint::black_box(reply);
+        }
+        warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let multiplies = products.len();
+    let speedup = cold_ms / warm_ms;
+    let cold_rps = multiplies as f64 / (cold_ms / 1e3);
+    let warm_rps = multiplies as f64 / (warm_ms / 1e3);
+    println!(
+        "\nserve-perf ({requests}-request trace, {multiplies} distinct products, best of {reps}):\n\
+         cold {cold_ms:.2} ms ({cold_rps:.1} req/s) | warm {warm_ms:.2} ms ({warm_rps:.1} req/s) | {speedup:.2}x"
+    );
+
+    format!(
+        "  \"serve_requests\": {requests},\n  \
+         \"serve_multiplies\": {multiplies},\n  \
+         \"serve_cold_ms\": {cold_ms:.4},\n  \
+         \"serve_warm_ms\": {warm_ms:.4},\n  \
+         \"serve_cold_rps\": {cold_rps:.4},\n  \
+         \"serve_warm_rps\": {warm_rps:.4},\n  \
+         \"serve_warm_speedup\": {speedup:.4}"
     )
 }

@@ -1,0 +1,163 @@
+//! `spmm_serve` — the long-lived SpMM service.
+//!
+//! Modes:
+//!
+//! - default / `--stdio`: one session over stdin/stdout, length-prefixed
+//!   JSON frames (see `src/serve/wire.rs` for the protocol).
+//! - `--socket PATH`: concurrent sessions over a Unix socket, one thread
+//!   per connection, all sharing the registry/artifact/workspace state.
+//! - `--replay TRACE.jsonl`: replay a request trace and print per-pass
+//!   timing; with `--verify-cold` every multiply is re-run on a fresh
+//!   cold context and the process exits nonzero on any bit drift (the CI
+//!   serve-smoke gate).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use hetero_spmm::serve::{
+    replay_trace, serve_stdio, serve_unix, ReplayOptions, ServiceConfig, SpmmService,
+};
+
+const USAGE: &str = "\
+usage: spmm_serve [--stdio]
+       spmm_serve --socket PATH
+       spmm_serve --replay TRACE.jsonl [--verify-cold] [--repeat N]
+common options:
+       --threads N        host threads for the shared pool
+       --max-inflight N   concurrent requests (default 4)
+       --queue-depth N    queued requests beyond inflight (default 64)
+";
+
+struct Args {
+    mode: Mode,
+    verify_cold: bool,
+    repeat: usize,
+    config: ServiceConfig,
+}
+
+enum Mode {
+    Stdio,
+    Socket(String),
+    Replay(String),
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: Mode::Stdio,
+        verify_cold: false,
+        repeat: 1,
+        config: ServiceConfig::default(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--stdio" => args.mode = Mode::Stdio,
+            "--socket" => args.mode = Mode::Socket(value("--socket")?),
+            "--replay" => args.mode = Mode::Replay(value("--replay")?),
+            "--verify-cold" => args.verify_cold = true,
+            "--repeat" => {
+                args.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|_| "--repeat needs an integer".to_string())?
+            }
+            "--threads" => {
+                args.config.host_threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads needs an integer".to_string())?,
+                )
+            }
+            "--max-inflight" => {
+                args.config.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|_| "--max-inflight needs an integer".to_string())?
+            }
+            "--queue-depth" => {
+                args.config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth needs an integer".to_string())?
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_replay(service: &SpmmService, trace_path: &str, args: &Args) -> ExitCode {
+    let trace = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("spmm_serve: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = ReplayOptions {
+        verify_cold: args.verify_cold,
+        wire_selftest: true,
+    };
+    let mut failed = false;
+    for pass in 1..=args.repeat.max(1) {
+        match replay_trace(service, &trace, &options) {
+            Ok(summary) => {
+                println!(
+                    "pass {pass}: {} requests, {} multiplies ({} warm), {:.1} ms{}",
+                    summary.requests,
+                    summary.multiplies,
+                    summary.warm_artifact_hits,
+                    summary.wall.as_secs_f64() * 1e3,
+                    if args.verify_cold {
+                        ", cold-verified"
+                    } else {
+                        ""
+                    },
+                );
+                for drift in &summary.drifts {
+                    eprintln!("pass {pass}: BIT DRIFT: {drift}");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("pass {pass}: replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if failed {
+        eprintln!("spmm_serve: warm-vs-cold bit-identity violated");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("spmm_serve: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = SpmmService::new(args.config);
+    match &args.mode {
+        Mode::Stdio => match serve_stdio(&service) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("spmm_serve: session error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Mode::Socket(path) => match serve_unix(Arc::new(service), std::path::Path::new(path)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("spmm_serve: socket error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Mode::Replay(trace_path) => run_replay(&service, trace_path, &args),
+    }
+}

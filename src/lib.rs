@@ -47,6 +47,8 @@
 //! | [`hetsim`] | `spmm-hetsim` | CPU/GPU/PCIe device models, phase profiles |
 //! | [`core`] | `spmm-core` | Algorithm HH-CPU + every baseline of the evaluation |
 
+pub mod serve;
+
 pub use spmm_cache as cache;
 pub use spmm_core as core;
 pub use spmm_hetsim as hetsim;
