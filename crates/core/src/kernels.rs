@@ -29,10 +29,12 @@
 //!   as a reference and for the wall-clock comparison in the benches.
 
 use spmm_parallel::{DisjointSlice, ThreadPool};
+use spmm_sparse::binning::stats as bin_stats;
 use spmm_sparse::coo::Triplet;
 use spmm_sparse::{
-    chunk_for, AccumStrategy, BinThresholds, ColIndex, CsrMatrix, EngineWorkspace, RowAccumulator,
-    RowBin, RowBins, Scalar, SparseAccumulator, WorkspacePool, GUIDED_CHUNK, TINY_PRODUCT_FLOPS,
+    chunk_for, simd, AccumStrategy, BinThresholds, ColIndex, CsrMatrix, EngineWorkspace,
+    RowAccumulator, RowBin, RowBins, Scalar, SparseAccumulator, WorkspacePool, GUIDED_CHUNK,
+    TINY_PRODUCT_FLOPS,
 };
 
 /// A partial product over a masked row set, stored as packed CSR rows.
@@ -330,35 +332,45 @@ fn row_products_adaptive<T: Scalar>(
     }
     {
         let out = DisjointSlice::new(&mut sizes);
-        pool.for_each_guided_items(
-            &sym_bins.list,
-            chunk_for(RowBin::List),
-            || workspaces.acquire::<T>(ncols),
-            |ws, ks| {
-                for &k in ks {
-                    let k = k as usize;
-                    let (acols, _) = a.row(rows[k]);
-                    ws.tiny_cols.clear();
-                    for &j in acols {
-                        if let Some(mask) = b_mask {
-                            if !mask[j as usize] {
-                                continue;
+        // Empty bins skip their dispatch entirely: on products whose rows
+        // all land in one bin, the other passes would otherwise each pay a
+        // full parallel fork for zero work (visible as 0-row entries in the
+        // spa_bin_* tallies).
+        if !sym_bins.list.is_empty() {
+            pool.for_each_guided_items(
+                &sym_bins.list,
+                chunk_for(RowBin::List),
+                || workspaces.acquire::<T>(ncols),
+                |ws, ks| {
+                    for &k in ks {
+                        let k = k as usize;
+                        let (acols, _) = a.row(rows[k]);
+                        ws.tiny_cols.clear();
+                        for &j in acols {
+                            if let Some(mask) = b_mask {
+                                if !mask[j as usize] {
+                                    continue;
+                                }
+                            }
+                            for &c in b.row(j as usize).0 {
+                                let pos = simd::lower_bound(&ws.tiny_cols, c);
+                                if ws.tiny_cols.get(pos) != Some(&c) {
+                                    ws.tiny_cols.insert(pos, c);
+                                }
                             }
                         }
-                        for &c in b.row(j as usize).0 {
-                            if let Err(pos) = ws.tiny_cols.binary_search(&c) {
-                                ws.tiny_cols.insert(pos, c);
-                            }
-                        }
+                        unsafe { out.write(k, ws.tiny_cols.len() as u64) };
                     }
-                    unsafe { out.write(k, ws.tiny_cols.len() as u64) };
-                }
-            },
-        );
+                },
+            );
+        }
         for (bin_rows, bin) in [
             (&sym_bins.hash, RowBin::Hash),
             (&sym_bins.dense, RowBin::Dense),
         ] {
+            if bin_rows.is_empty() {
+                continue;
+            }
             pool.for_each_guided_items(
                 bin_rows,
                 chunk_for(bin),
@@ -392,35 +404,39 @@ fn row_products_adaptive<T: Scalar>(
         // Copy bin: the output row is `a_ij × B[j, :]` verbatim — each
         // column is touched exactly once and B columns already ascend, so
         // the copy is bit-identical to any accumulator run and needs no
-        // accumulator state at all.
-        pool.for_each_guided_items(
-            &num_bins.copy,
-            chunk_for(RowBin::Copy),
-            || (),
-            |(), ks| {
-                for &k in ks {
-                    let k = k as usize;
-                    let (acols, avals) = a.row(rows[k]);
-                    let mut at = indptr[k];
-                    for (&j, &aij) in acols.iter().zip(avals) {
-                        if let Some(mask) = b_mask {
-                            if !mask[j as usize] {
-                                continue;
+        // accumulator state at all. SoA form: one memcpy of B's columns
+        // plus one vectorized scaled copy of its values per source row.
+        if !num_bins.copy.is_empty() {
+            let t0 = bin_pass_start();
+            pool.for_each_guided_items(
+                &num_bins.copy,
+                chunk_for(RowBin::Copy),
+                || (),
+                |(), ks| {
+                    for &k in ks {
+                        let k = k as usize;
+                        let (acols, avals) = a.row(rows[k]);
+                        let mut at = indptr[k];
+                        for (&j, &aij) in acols.iter().zip(avals) {
+                            if let Some(mask) = b_mask {
+                                if !mask[j as usize] {
+                                    continue;
+                                }
                             }
-                        }
-                        let (bcols, bvals) = b.row(j as usize);
-                        for (&c, &bjc) in bcols.iter().zip(bvals) {
+                            let (bcols, bvals) = b.row(j as usize);
+                            // rows own disjoint indptr ranges
                             unsafe {
-                                out_idx.write(at, c);
-                                out_val.write(at, aij * bjc);
+                                out_idx.write_slice(at, bcols);
+                                simd::scaled_copy(aij, bvals, out_val.slice_mut(at, bvals.len()));
                             }
-                            at += 1;
+                            at += bcols.len();
                         }
+                        debug_assert_eq!(at, indptr[k + 1]);
                     }
-                    debug_assert_eq!(at, indptr[k + 1]);
-                }
-            },
-        );
+                },
+            );
+            bin_pass_record(RowBin::Copy, &num_bins.copy, &indptr, t0);
+        }
 
         numeric_bin(
             a,
@@ -431,7 +447,7 @@ fn row_products_adaptive<T: Scalar>(
             workspaces,
             ncols,
             &num_bins.list,
-            chunk_for(RowBin::List),
+            RowBin::List,
             &indptr,
             &out_idx,
             &out_val,
@@ -446,7 +462,7 @@ fn row_products_adaptive<T: Scalar>(
             workspaces,
             ncols,
             &num_bins.hash,
-            chunk_for(RowBin::Hash),
+            RowBin::Hash,
             &indptr,
             &out_idx,
             &out_val,
@@ -461,7 +477,7 @@ fn row_products_adaptive<T: Scalar>(
             workspaces,
             ncols,
             &num_bins.dense,
-            chunk_for(RowBin::Dense),
+            RowBin::Dense,
             &indptr,
             &out_idx,
             &out_val,
@@ -499,7 +515,8 @@ pub(crate) fn sel_spa<T: Scalar>(
 }
 
 /// One numeric bin: scatter every row through the accumulator `sel`
-/// chooses and drain it, sorted, into its pre-offset slot.
+/// chooses and drain it — SoA bulk drain straight into its pre-offset
+/// column/value slots, so the variants' vectorized gathers apply.
 #[allow(clippy::too_many_arguments)]
 fn numeric_bin<T, A, Sel>(
     a: &CsrMatrix<T>,
@@ -510,7 +527,7 @@ fn numeric_bin<T, A, Sel>(
     workspaces: &WorkspacePool,
     ncols: usize,
     bin_rows: &[u32],
-    chunk: usize,
+    bin: RowBin,
     indptr: &[usize],
     out_idx: &DisjointSlice<'_, ColIndex>,
     out_val: &DisjointSlice<'_, T>,
@@ -520,29 +537,54 @@ fn numeric_bin<T, A, Sel>(
     A: RowAccumulator<T>,
     Sel: for<'w> Fn(&'w mut EngineWorkspace<T>, usize) -> &'w mut A + Sync,
 {
+    if bin_rows.is_empty() {
+        return;
+    }
+    let t0 = bin_pass_start();
     pool.for_each_guided_items(
         bin_rows,
-        chunk,
+        chunk_for(bin),
         || workspaces.acquire::<T>(ncols),
         |ws, ks| {
             for &k in ks {
                 let k = k as usize;
-                let size = indptr[k + 1] - indptr[k];
+                let at = indptr[k];
+                let size = indptr[k + 1] - at;
                 let acc = sel(ws, size);
                 scatter_row(a, b, rows[k], b_mask, acc);
-                let mut at = indptr[k];
                 debug_assert_eq!(size, acc.nnz());
-                acc.drain_sorted(|c, v| {
-                    // rows own disjoint indptr ranges
-                    unsafe {
-                        out_idx.write(at, c);
-                        out_val.write(at, v);
-                    }
-                    at += 1;
-                });
+                // rows own disjoint indptr ranges
+                unsafe {
+                    acc.drain_sorted_into(out_idx.slice_mut(at, size), out_val.slice_mut(at, size));
+                }
             }
         },
     );
+    bin_pass_record(bin, bin_rows, indptr, t0);
+}
+
+/// Start a bin-pass timing when the opt-in tallies are enabled.
+#[inline]
+pub(crate) fn bin_pass_start() -> Option<std::time::Instant> {
+    bin_stats::enabled().then(std::time::Instant::now)
+}
+
+/// Record one bin pass (rows routed, entries drained, wall ns) into the
+/// process-global tallies. No-op unless [`bin_pass_start`] armed.
+pub(crate) fn bin_pass_record(
+    bin: RowBin,
+    bin_rows: &[u32],
+    indptr: &[usize],
+    t0: Option<std::time::Instant>,
+) {
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        let entries: u64 = bin_rows
+            .iter()
+            .map(|&k| (indptr[k as usize + 1] - indptr[k as usize]) as u64)
+            .sum();
+        bin_stats::record(bin, bin_rows.len() as u64, entries, ns);
+    }
 }
 
 /// Exclusive-scan `sizes` into a CSR `indptr`, returning it with the

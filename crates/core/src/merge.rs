@@ -131,14 +131,70 @@ pub fn concat_row_blocks<T: Scalar>(
     CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, indices, values)
 }
 
+/// Two-run merge, the overwhelmingly common case (one output row appears
+/// in at most one block per B-mask half, and the masks split in two). The
+/// generic k-way loop below re-scans every run per emitted column; this
+/// walks both runs with two cursors and one three-way compare per output —
+/// straight-line code the compiler can branch-predict and unroll.
+///
+/// Each emitted value is `T::ZERO` + the run contributions in run order —
+/// exactly the generic loop's accumulation, so the output bits are
+/// identical (including the `+0.0` normalization of `-0.0` entries).
+pub(crate) fn merge2_sorted<T: Scalar, F: FnMut(ColIndex, T)>(
+    c0: &[ColIndex],
+    v0: &[T],
+    c1: &[ColIndex],
+    v1: &[T],
+    mut emit: F,
+) -> usize {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut distinct = 0usize;
+    while i < c0.len() && j < c1.len() {
+        let (a, b) = (c0[i], c1[j]);
+        let mut sum = T::ZERO;
+        let col = a.min(b);
+        if a <= b {
+            sum += v0[i];
+            i += 1;
+        }
+        if b <= a {
+            sum += v1[j];
+            j += 1;
+        }
+        emit(col, sum);
+        distinct += 1;
+    }
+    while i < c0.len() {
+        let mut sum = T::ZERO;
+        sum += v0[i];
+        emit(c0[i], sum);
+        i += 1;
+        distinct += 1;
+    }
+    while j < c1.len() {
+        let mut sum = T::ZERO;
+        sum += v1[j];
+        emit(c1[j], sum);
+        j += 1;
+        distinct += 1;
+    }
+    distinct
+}
+
 /// k-way merge of one output row's sources (each column-sorted), summing
 /// values of columns shared between sources. Calls `emit(col, sum)` in
 /// ascending column order and returns the number of distinct columns.
+/// Two-source rows take [`merge2_sorted`]; the min-scan loop handles k > 2.
 fn merge_row<T: Scalar, F: FnMut(ColIndex, T)>(
     sources: &[(u32, u32)],
     blocks: &[RowBlock<T>],
     mut emit: F,
 ) -> usize {
+    if let [(b0, k0), (b1, k1)] = *sources {
+        let (_, c0, v0) = blocks[b0 as usize].row(k0 as usize);
+        let (_, c1, v1) = blocks[b1 as usize].row(k1 as usize);
+        return merge2_sorted(c0, v0, c1, v1, emit);
+    }
     let mut runs: Vec<(&[ColIndex], &[T], usize)> = sources
         .iter()
         .map(|&(bi, k)| {
@@ -338,6 +394,55 @@ mod tests {
         assert_eq!(c.get(1, 2), 7.0);
         assert_eq!(c.get(1, 3), 7.0);
         assert_eq!(c.get(2, 1), 9.0);
+    }
+
+    /// The 2-run fast path must emit exactly what the generic min-scan
+    /// loop emits, bit for bit — including `-0.0` entries, which the
+    /// `T::ZERO + v` accumulation normalizes to `+0.0` in both.
+    #[test]
+    fn merge2_matches_generic_kway_bitwise() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for trial in 0..20 {
+            let make_run = |rng: &mut StdRng, n: usize| {
+                let mut cols: Vec<ColIndex> = (0..n as u32 * 3).collect();
+                // random subset, kept sorted
+                cols.retain(|_| rng.gen_range(0..3u32) == 0);
+                let vals: Vec<f64> = cols
+                    .iter()
+                    .map(|_| match rng.gen_range(0..10u32) {
+                        0 => -0.0,
+                        1 => 0.0,
+                        _ => rng.gen_range(-1.0..1.0),
+                    })
+                    .collect();
+                (cols, vals)
+            };
+            let (c0, v0) = make_run(&mut rng, 10 + trial);
+            let (c1, v1) = make_run(&mut rng, 10 + trial);
+            let blocks = vec![RowBlock {
+                rows: vec![0, 0],
+                indptr: vec![0, c0.len(), c0.len() + c1.len()],
+                indices: c0.iter().chain(&c1).copied().collect(),
+                values: v0.iter().chain(&v1).copied().collect(),
+            }];
+            // generic loop, forced by a 3-source list whose third run is empty
+            let empty = RowBlock::<f64> {
+                rows: vec![0],
+                indptr: vec![0, 0],
+                indices: vec![],
+                values: vec![],
+            };
+            let mut all = blocks;
+            all.push(empty);
+            let mut via_generic = Vec::new();
+            let n_generic = merge_row(&[(0, 0), (0, 1), (1, 0)], &all, |c, v| {
+                via_generic.push((c, v.to_bits()))
+            });
+            let mut via_fast = Vec::new();
+            let n_fast = merge2_sorted(&c0, &v0, &c1, &v1, |c, v| via_fast.push((c, v.to_bits())));
+            assert_eq!(n_generic, n_fast, "trial {trial}");
+            assert_eq!(via_generic, via_fast, "trial {trial}");
+        }
     }
 
     #[test]

@@ -32,12 +32,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use spmm_hetsim::DeviceKind;
 use spmm_parallel::{exclusive_scan, DisjointSlice, ThreadPool};
 use spmm_sparse::{
-    chunk_for, AccumStrategy, BinThresholds, ColIndex, CsrMatrix, EngineWorkspace, RowAccumulator,
-    RowBin, RowBins, Scalar, WorkspacePool, GUIDED_CHUNK, TINY_PRODUCT_FLOPS,
+    chunk_for, simd, AccumStrategy, BinThresholds, ColIndex, CsrMatrix, EngineWorkspace,
+    RowAccumulator, RowBin, RowBins, Scalar, WorkspacePool, GUIDED_CHUNK, TINY_PRODUCT_FLOPS,
 };
 
-use crate::kernels::{row_products_pooled, scatter_row, sel_hash, sel_list, sel_spa, RowBlock};
-use crate::merge::concat_row_blocks;
+use crate::kernels::{
+    bin_pass_record, bin_pass_start, row_products_pooled, scatter_row, sel_hash, sel_list, sel_spa,
+    RowBlock,
+};
+use crate::merge::{concat_row_blocks, merge2_sorted};
 
 /// Which executor runs the scheduled numeric work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -335,41 +338,46 @@ fn execute_batched<T: Scalar>(
         let per_claim = &per_claim;
 
         // Copy bin (Adaptive only): sole claim, sole masked source — the
-        // output row is the scaled B row verbatim.
-        pool.for_each_guided_items(
-            &bins.copy,
-            chunk_of(RowBin::Copy),
-            || (),
-            |(), rs| {
-                for &r in rs {
-                    let r = r as usize;
-                    let ci = src[src_off[r]] as usize;
-                    let b_mask = claims[ci].b_mask;
-                    let (acols, avals) = a.row(r);
-                    let mut at = indptr[r];
-                    for (&j, &aij) in acols.iter().zip(avals) {
-                        if let Some(mask) = b_mask {
-                            if !mask[j as usize] {
-                                continue;
+        // output row is the scaled B row verbatim. SoA form: one memcpy of
+        // B's columns plus one vectorized scaled copy of its values. Empty
+        // bins skip their dispatch entirely (a parallel fork for zero work
+        // shows up as pure overhead on one-bin products).
+        if !bins.copy.is_empty() {
+            let t0 = bin_pass_start();
+            pool.for_each_guided_items(
+                &bins.copy,
+                chunk_of(RowBin::Copy),
+                || (),
+                |(), rs| {
+                    for &r in rs {
+                        let r = r as usize;
+                        let ci = src[src_off[r]] as usize;
+                        let b_mask = claims[ci].b_mask;
+                        let (acols, avals) = a.row(r);
+                        let mut at = indptr[r];
+                        for (&j, &aij) in acols.iter().zip(avals) {
+                            if let Some(mask) = b_mask {
+                                if !mask[j as usize] {
+                                    continue;
+                                }
                             }
-                        }
-                        let (bcols, bvals) = b.row(j as usize);
-                        for (&c, &bjc) in bcols.iter().zip(bvals) {
+                            let (bcols, bvals) = b.row(j as usize);
                             // rows own disjoint indptr ranges
                             unsafe {
-                                out_idx.write(at, c);
-                                out_val.write(at, aij * bjc);
+                                out_idx.write_slice(at, bcols);
+                                simd::scaled_copy(aij, bvals, out_val.slice_mut(at, bvals.len()));
                             }
-                            at += 1;
+                            at += bcols.len();
                         }
+                        debug_assert_eq!(at, indptr[r + 1]);
+                        // each column touched exactly once ⇒ the claim's
+                        // entry count is the row size
+                        per_claim[ci].fetch_add(indptr[r + 1] - indptr[r], Ordering::Relaxed);
                     }
-                    debug_assert_eq!(at, indptr[r + 1]);
-                    // each column touched exactly once ⇒ the claim's entry
-                    // count is the row size
-                    per_claim[ci].fetch_add(indptr[r + 1] - indptr[r], Ordering::Relaxed);
-                }
-            },
-        );
+                },
+            );
+            bin_pass_record(RowBin::Copy, &bins.copy, indptr, t0);
+        }
 
         // Sized single-source bins: sole producer of the row, so the
         // accumulator drain *is* the final row (the per-claim path drained
@@ -385,6 +393,7 @@ fn execute_batched<T: Scalar>(
             ncols,
             &bins.list,
             chunk_of(RowBin::List),
+            RowBin::List,
             indptr,
             &out_idx,
             &out_val,
@@ -402,6 +411,7 @@ fn execute_batched<T: Scalar>(
             ncols,
             &bins.hash,
             chunk_of(RowBin::Hash),
+            RowBin::Hash,
             indptr,
             &out_idx,
             &out_val,
@@ -419,6 +429,7 @@ fn execute_batched<T: Scalar>(
             ncols,
             &bins.dense,
             chunk_of(RowBin::Dense),
+            RowBin::Dense,
             indptr,
             &out_idx,
             &out_val,
@@ -452,11 +463,12 @@ fn execute_batched<T: Scalar>(
                     for &ci in sources {
                         let claim = &claims[ci as usize];
                         scatter_row(a, b, r, claim.b_mask, spa);
-                        per_claim[ci as usize].fetch_add(spa.nnz(), Ordering::Relaxed);
-                        spa.drain_sorted(|c, v| {
-                            cols.push(c);
-                            vals.push(v);
-                        });
+                        let n = spa.nnz();
+                        per_claim[ci as usize].fetch_add(n, Ordering::Relaxed);
+                        let start = cols.len();
+                        cols.resize(start + n, 0);
+                        vals.resize(start + n, T::ZERO);
+                        spa.drain_sorted_into(&mut cols[start..], &mut vals[start..]);
                         bounds.push(cols.len());
                     }
                     merge_runs(cols, vals, bounds, |c, v| {
@@ -492,6 +504,7 @@ fn single_source_bin<T, A, Sel>(
     ncols: usize,
     bin_rows: &[u32],
     chunk: usize,
+    bin: RowBin,
     indptr: &[usize],
     out_idx: &DisjointSlice<'_, ColIndex>,
     out_val: &DisjointSlice<'_, T>,
@@ -502,6 +515,7 @@ fn single_source_bin<T, A, Sel>(
     A: RowAccumulator<T>,
     Sel: for<'w> Fn(&'w mut EngineWorkspace<T>, usize) -> &'w mut A + Sync,
 {
+    let t0 = bin_pass_start();
     pool.for_each_guided_items(
         bin_rows,
         chunk,
@@ -510,23 +524,20 @@ fn single_source_bin<T, A, Sel>(
             for &r in rs {
                 let r = r as usize;
                 let ci = src[src_off[r]] as usize;
-                let size = indptr[r + 1] - indptr[r];
+                let at = indptr[r];
+                let size = indptr[r + 1] - at;
                 let acc = sel(ws, size);
                 scatter_row(a, b, r, claims[ci].b_mask, acc);
                 per_claim[ci].fetch_add(acc.nnz(), Ordering::Relaxed);
-                let mut at = indptr[r];
-                acc.drain_sorted(|c, v| {
-                    // rows own disjoint indptr ranges
-                    unsafe {
-                        out_idx.write(at, c);
-                        out_val.write(at, v);
-                    }
-                    at += 1;
-                });
-                debug_assert_eq!(at, indptr[r + 1]);
+                debug_assert_eq!(size, acc.nnz());
+                // rows own disjoint indptr ranges
+                unsafe {
+                    acc.drain_sorted_into(out_idx.slice_mut(at, size), out_val.slice_mut(at, size));
+                }
             }
         },
     );
+    bin_pass_record(bin, bin_rows, indptr, t0);
 }
 
 /// k-way merge of column-sorted runs, summing values of shared columns in
@@ -539,6 +550,19 @@ fn merge_runs<T: Scalar, F: FnMut(ColIndex, T)>(
     mut emit: F,
 ) {
     let k = bounds.len() - 1;
+    if k == 2 {
+        // Two complementary mask halves is by far the common shape; the
+        // vector-friendly two-cursor merge replicates the generic loop's
+        // accumulation order exactly.
+        merge2_sorted(
+            &cols[bounds[0]..bounds[1]],
+            &vals[bounds[0]..bounds[1]],
+            &cols[bounds[1]..bounds[2]],
+            &vals[bounds[1]..bounds[2]],
+            emit,
+        );
+        return;
+    }
     let mut pos: Vec<usize> = bounds[..k].to_vec();
     loop {
         let mut min: Option<ColIndex> = None;

@@ -29,7 +29,7 @@
 //! [`RowSizer`] is the symbolic-pass companion: it only needs
 //! distinct-column counts and therefore skips the value array entirely.
 
-use crate::{ColIndex, Scalar};
+use crate::{simd, ColIndex, Scalar};
 
 /// Common surface of the numeric accumulator variants. All implementors
 /// share the bit-identical contract documented on the module: first touch
@@ -43,6 +43,21 @@ pub trait RowAccumulator<T: Scalar> {
     /// Drain the current row in ascending column order, invoking
     /// `f(col, value)` per entry, and reset for the next row.
     fn drain_sorted<F: FnMut(ColIndex, T)>(&mut self, f: F);
+    /// Drain the current row into pre-sized column/value slices (both
+    /// exactly [`nnz`](Self::nnz) long), ascending by column, and reset for
+    /// the next row. The SoA bulk form of [`drain_sorted`](Self::drain_sorted):
+    /// emitting straight into separate `u32` / `T` arrays is what lets the
+    /// variants gather with vector lanes instead of walking interleaved
+    /// pairs. Same values, same order, bit-identical.
+    fn drain_sorted_into(&mut self, out_cols: &mut [ColIndex], out_vals: &mut [T]) {
+        let mut at = 0;
+        self.drain_sorted(|c, v| {
+            out_cols[at] = c;
+            out_vals[at] = v;
+            at += 1;
+        });
+        debug_assert_eq!(at, out_cols.len(), "drain_sorted_into: output sizing");
+    }
 }
 
 /// Gustavson sparse accumulator: scatter `(col, val)` contributions for one
@@ -137,6 +152,15 @@ impl<T: Scalar> RowAccumulator<T> for SparseAccumulator<T> {
     fn drain_sorted<F: FnMut(ColIndex, T)>(&mut self, f: F) {
         SparseAccumulator::drain_sorted(self, f)
     }
+    /// SoA drain: sort the touched list once, memcpy it as the column
+    /// array, and gather the values by hardware gather (AVX2) or a chunked
+    /// scalar loop — no per-element closure dispatch.
+    fn drain_sorted_into(&mut self, out_cols: &mut [ColIndex], out_vals: &mut [T]) {
+        self.touched.sort_unstable();
+        simd::gather_into(&self.touched, &self.values, out_cols, out_vals);
+        self.touched.clear();
+        self.advance_generation();
+    }
 }
 
 /// Sorted-insertion accumulator for tiny rows: columns and values live in
@@ -163,18 +187,28 @@ impl<T: Scalar> ListAccumulator<T> {
 }
 
 impl<T: Scalar> RowAccumulator<T> for ListAccumulator<T> {
+    /// Branchless Lemire-style lower bound (no per-probe branch to
+    /// mispredict), then — on a miss — one `copy_within` tail shift per
+    /// array. The old `binary_search` + `Vec::insert` pair moved the same
+    /// tail twice (once for cols, once for vals) *and* re-checked capacity
+    /// per insert; here each push reserves, then the tail moves once.
     #[inline]
     fn scatter(&mut self, col: ColIndex, val: T) -> bool {
-        match self.cols.binary_search(&col) {
-            Ok(i) => {
-                self.vals[i] += val;
-                false
+        let i = simd::lower_bound(&self.cols, col);
+        if i < self.cols.len() && self.cols[i] == col {
+            self.vals[i] += val;
+            false
+        } else {
+            let n = self.cols.len();
+            self.cols.push(col);
+            self.vals.push(val);
+            if i < n {
+                self.cols.copy_within(i..n, i + 1);
+                self.vals.copy_within(i..n, i + 1);
+                self.cols[i] = col;
+                self.vals[i] = val;
             }
-            Err(i) => {
-                self.cols.insert(i, col);
-                self.vals.insert(i, val);
-                true
-            }
+            true
         }
     }
 
@@ -189,21 +223,39 @@ impl<T: Scalar> RowAccumulator<T> for ListAccumulator<T> {
         self.cols.clear();
         self.vals.clear();
     }
+
+    /// The list is already SoA and already sorted: the drain is two
+    /// memcpys.
+    fn drain_sorted_into(&mut self, out_cols: &mut [ColIndex], out_vals: &mut [T]) {
+        out_cols.copy_from_slice(&self.cols);
+        out_vals.copy_from_slice(&self.vals);
+        self.cols.clear();
+        self.vals.clear();
+    }
 }
 
 /// Open-addressing accumulator for mid-size rows: a generation-stamped
 /// linear-probe table sized to the engine's hash-bin ceiling, so clearing
 /// between rows is a generation bump and the working set stays a few tens
-/// of KB regardless of the output's column count. The drain sorts the
-/// touched-column list (mid-size, so the sort is cheap) and re-probes each
-/// column for its value.
+/// of KB regardless of the output's column count.
+///
+/// The touched list stores `(col << 32) | slot` packed words: sorting the
+/// packed words sorts by column (columns are unique per row, so the slot
+/// half never decides an ordering), and the drain reads each value by its
+/// remembered slot directly — no re-probe of the hash table, and the
+/// value reads become a plain gather the SIMD layer can vectorize.
 #[derive(Debug, Clone)]
 pub struct HashAccumulator<T> {
     keys: Vec<ColIndex>,
     vals: Vec<T>,
     stamp: Vec<u32>,
     generation: u32,
-    touched: Vec<ColIndex>,
+    touched: Vec<u64>,
+}
+
+#[inline]
+fn pack_touch(col: ColIndex, slot: usize) -> u64 {
+    (u64::from(col) << 32) | slot as u64
 }
 
 /// Fibonacci-hash multiplier (2^32 / φ), spreads consecutive columns.
@@ -251,18 +303,22 @@ impl<T: Scalar> HashAccumulator<T> {
 
     /// Double the table mid-row, re-inserting the touched columns. Values
     /// move verbatim (each column's partial sum is one `T`), so growth is
-    /// invisible to the accumulation semantics.
+    /// invisible to the accumulation semantics. The packed touched entries
+    /// are re-stamped with each column's slot in the new table.
     #[cold]
     fn grow(&mut self) {
         let mut bigger = Self::with_capacity(self.keys.len());
-        for &c in &self.touched {
-            let from = self.slot_of(c);
+        let mut touched = std::mem::take(&mut self.touched);
+        for p in &mut touched {
+            let c = (*p >> 32) as ColIndex;
+            let from = *p as u32 as usize;
             let to = bigger.slot_of(c);
             bigger.stamp[to] = bigger.generation;
             bigger.keys[to] = c;
             bigger.vals[to] = self.vals[from];
+            *p = pack_touch(c, to);
         }
-        bigger.touched = std::mem::take(&mut self.touched);
+        bigger.touched = touched;
         *self = bigger;
     }
 
@@ -291,7 +347,7 @@ impl<T: Scalar> RowAccumulator<T> for HashAccumulator<T> {
             self.stamp[i] = self.generation;
             self.keys[i] = col;
             self.vals[i] = val;
-            self.touched.push(col);
+            self.touched.push(pack_touch(col, i));
             true
         }
     }
@@ -303,10 +359,20 @@ impl<T: Scalar> RowAccumulator<T> for HashAccumulator<T> {
     fn drain_sorted<F: FnMut(ColIndex, T)>(&mut self, mut f: F) {
         self.touched.sort_unstable();
         let touched = std::mem::take(&mut self.touched);
-        for &c in &touched {
-            f(c, self.vals[self.slot_of(c)]);
+        for &p in &touched {
+            f((p >> 32) as ColIndex, self.vals[p as u32 as usize]);
         }
         self.touched = touched;
+        self.touched.clear();
+        self.advance_generation();
+    }
+
+    /// SoA drain: sort the packed `(col, slot)` words, then split them into
+    /// the column slice and a slot-gather of the value table in one
+    /// vectorizable pass.
+    fn drain_sorted_into(&mut self, out_cols: &mut [ColIndex], out_vals: &mut [T]) {
+        self.touched.sort_unstable();
+        simd::gather_packed_into(&self.touched, &self.vals, out_cols, out_vals);
         self.touched.clear();
         self.advance_generation();
     }
@@ -527,6 +593,79 @@ mod tests {
             assert_eq!(dense, run_variant(&mut list, &stream), "row {row}");
             assert_eq!(dense, run_variant(&mut hash, &stream), "row {row}");
         }
+    }
+
+    fn soa_of<A: RowAccumulator<f64>>(
+        acc: &mut A,
+        stream: &[(ColIndex, f64)],
+    ) -> Vec<(ColIndex, u64)> {
+        for &(c, v) in stream {
+            acc.scatter(c, v);
+        }
+        let n = acc.nnz();
+        let (mut oc, mut ov) = (vec![0u32; n], vec![0f64; n]);
+        acc.drain_sorted_into(&mut oc, &mut ov);
+        oc.into_iter()
+            .zip(ov.into_iter().map(f64::to_bits))
+            .collect()
+    }
+
+    /// drain_sorted_into must equal drain_sorted bit for bit, for every
+    /// variant, including remainder-lane sizes (nnz ≡ 1..7 mod 8) and the
+    /// empty row.
+    #[test]
+    fn soa_drain_matches_closure_drain_bitwise() {
+        let sizes = [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 17, 100, 1025];
+        for (i, &len) in sizes.iter().enumerate() {
+            let stream = touch_stream(len, 2048, i as u64 + 77);
+            let mut via_closure = Vec::new();
+            let mut oracle = SparseAccumulator::<f64>::new(2048);
+            for &(c, v) in &stream {
+                oracle.scatter(c, v);
+            }
+            oracle.drain_sorted(|c, v| via_closure.push((c, v.to_bits())));
+
+            let mut spa = SparseAccumulator::<f64>::new(2048);
+            let mut list = ListAccumulator::<f64>::new();
+            let mut hash = HashAccumulator::<f64>::with_capacity(2);
+            assert_eq!(
+                via_closure,
+                soa_of(&mut spa, &stream),
+                "spa SoA drain diverged at len {len}"
+            );
+            assert_eq!(
+                via_closure,
+                soa_of(&mut list, &stream),
+                "list SoA drain diverged at len {len}"
+            );
+            assert_eq!(
+                via_closure,
+                soa_of(&mut hash, &stream),
+                "hash SoA drain diverged at len {len}"
+            );
+        }
+    }
+
+    fn check_soa_reset<A: RowAccumulator<f64>>(acc: &mut A) {
+        acc.scatter(3, 1.0);
+        acc.scatter(1, 2.0);
+        let (mut oc, mut ov) = (vec![0u32; 2], vec![0f64; 2]);
+        acc.drain_sorted_into(&mut oc, &mut ov);
+        assert_eq!(oc, vec![1, 3]);
+        assert_eq!(ov, vec![2.0, 1.0]);
+        assert_eq!(acc.nnz(), 0);
+        // next row: same column must be a fresh first touch
+        assert!(acc.scatter(3, 7.0));
+        let (mut oc, mut ov) = (vec![0u32; 1], vec![0f64; 1]);
+        acc.drain_sorted_into(&mut oc, &mut ov);
+        assert_eq!((oc[0], ov[0]), (3, 7.0));
+    }
+
+    #[test]
+    fn soa_drain_resets_for_next_row() {
+        check_soa_reset(&mut SparseAccumulator::<f64>::new(16));
+        check_soa_reset(&mut ListAccumulator::<f64>::new());
+        check_soa_reset(&mut HashAccumulator::<f64>::with_capacity(4));
     }
 
     #[test]

@@ -170,9 +170,103 @@ impl RowBins {
     }
 }
 
+/// Opt-in per-bin tallies, so bin-threshold tuning is data-driven instead
+/// of guessed. Disabled (and costless beyond one relaxed load per engine
+/// pass) by default; the perf probes enable it around a timed run and read
+/// the totals back out with [`stats::take`]. Counters are process-global
+/// atomics — concurrent engines simply sum.
+pub mod stats {
+    use super::RowBin;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+    const BINS: usize = 4;
+    /// Display names, index-aligned with the snapshot arrays.
+    pub const BIN_NAMES: [&str; BINS] = ["copy", "list", "hash", "dense"];
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static ROWS: [AtomicU64; BINS] = zeros();
+    static ENTRIES: [AtomicU64; BINS] = zeros();
+    static NANOS: [AtomicU64; BINS] = zeros();
+
+    const fn zeros() -> [AtomicU64; BINS] {
+        [
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+        ]
+    }
+
+    #[inline]
+    fn idx(bin: RowBin) -> usize {
+        match bin {
+            RowBin::Copy => 0,
+            RowBin::List => 1,
+            RowBin::Hash => 2,
+            RowBin::Dense => 3,
+        }
+    }
+
+    /// Turn collection on or off process-wide.
+    pub fn enable(on: bool) {
+        ENABLED.store(on, Relaxed);
+    }
+
+    /// Whether engines should spend time measuring their bin passes.
+    #[inline]
+    pub fn enabled() -> bool {
+        ENABLED.load(Relaxed)
+    }
+
+    /// Add one bin pass's totals: `rows` routed, `entries` output nonzeros
+    /// drained, `ns` wall nanoseconds for the pass.
+    pub fn record(bin: RowBin, rows: u64, entries: u64, ns: u64) {
+        let i = idx(bin);
+        ROWS[i].fetch_add(rows, Relaxed);
+        ENTRIES[i].fetch_add(entries, Relaxed);
+        NANOS[i].fetch_add(ns, Relaxed);
+    }
+
+    /// Accumulated per-bin totals, index-aligned with [`BIN_NAMES`].
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    pub struct BinSnapshot {
+        pub rows: [u64; BINS],
+        pub entries: [u64; BINS],
+        pub ns: [u64; BINS],
+    }
+
+    /// Read every counter and reset it to zero.
+    pub fn take() -> BinSnapshot {
+        let mut snap = BinSnapshot::default();
+        for i in 0..BINS {
+            snap.rows[i] = ROWS[i].swap(0, Relaxed);
+            snap.entries[i] = ENTRIES[i].swap(0, Relaxed);
+            snap.ns[i] = NANOS[i].swap(0, Relaxed);
+        }
+        snap
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_tally_and_reset() {
+        stats::enable(true);
+        assert!(stats::enabled());
+        let _ = stats::take();
+        stats::record(RowBin::List, 3, 12, 1000);
+        stats::record(RowBin::List, 1, 4, 500);
+        stats::record(RowBin::Dense, 2, 4096, 9000);
+        let snap = stats::take();
+        assert_eq!(snap.rows, [0, 4, 0, 2]);
+        assert_eq!(snap.entries, [0, 16, 0, 4096]);
+        assert_eq!(snap.ns, [0, 1500, 0, 9000]);
+        assert_eq!(stats::take(), stats::BinSnapshot::default());
+        stats::enable(false);
+        assert!(!stats::enabled());
+    }
 
     #[test]
     fn classify_respects_thresholds() {

@@ -32,6 +32,7 @@ pub mod io;
 pub mod ops;
 pub mod reference;
 pub mod scalar;
+pub mod simd;
 pub mod workspace;
 
 pub use accumulator::{
@@ -48,6 +49,7 @@ pub use ell::EllMatrix;
 pub use error::SparseError;
 pub use histogram::RowHistogram;
 pub use scalar::Scalar;
+pub use simd::SimdLevel;
 pub use workspace::{EngineWorkspace, PooledSizer, PooledWorkspace, WorkspacePool};
 
 /// Index type used for column indices. `u32` halves the memory traffic of the

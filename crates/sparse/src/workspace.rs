@@ -253,6 +253,33 @@ mod tests {
     }
 
     #[test]
+    fn soa_drains_stay_clean_through_the_pool() {
+        // The vectorized bulk drain must leave a pooled workspace exactly
+        // as reusable as the closure drain: generation stamps advanced,
+        // lists/tables emptied, no stale columns on the next checkout.
+        use crate::RowAccumulator;
+        let pool = WorkspacePool::new();
+        {
+            let mut ws = pool.acquire::<f64>(64);
+            ws.spa.scatter(5, 1.0);
+            ws.spa.scatter(2, 2.0);
+            let (mut c, mut v) = (vec![0; 2], vec![0.0; 2]);
+            ws.spa.drain_sorted_into(&mut c, &mut v);
+            assert_eq!(c, vec![2, 5]);
+            ws.list.scatter(9, 3.0);
+            ws.list.drain_sorted_into(&mut c[..1], &mut v[..1]);
+            assert_eq!(c[0], 9);
+            ws.hash.scatter(40, 4.0);
+            ws.hash.drain_sorted_into(&mut c[..1], &mut v[..1]);
+            assert_eq!(c[0], 40);
+        }
+        let mut ws = pool.acquire::<f64>(64);
+        assert!(ws.spa.scatter(5, 1.0), "stale SPA stamp after SoA drain");
+        assert_eq!(ws.list.nnz(), 0, "list not reset by SoA drain");
+        assert_eq!(ws.hash.nnz(), 0, "hash not reset by SoA drain");
+    }
+
+    #[test]
     fn scalar_types_pool_independently() {
         let pool = WorkspacePool::new();
         drop(pool.acquire::<f64>(4));

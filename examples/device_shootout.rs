@@ -20,7 +20,12 @@
 //!   committed goldens (`tests/golden/thresholds.txt`);
 //! * times end-to-end `hh_cpu` per-claim vs batched, and fixed dense-SPA
 //!   vs the adaptive row-binned accumulator engine, on every Table I
-//!   clone, failing on any bit of output or profile drift;
+//!   clone, failing on any bit of output or profile drift, and emits
+//!   per-bin row/entry/throughput tallies (`spa_bin_*`);
+//! * times the host numeric engine with SIMD dispatch forced to the scalar
+//!   oracle vs auto-detected (`simd_perf`), and the register-tiled csrmm
+//!   sweep vs the naive reference (`csrmm_perf`), failing hard on any bit
+//!   drift between levels;
 //! * replays the serve-layer request trace cold vs warm through
 //!   `SpmmService`, failing on any warm-vs-cold bit drift;
 //! * writes every wall-clock number to `BENCH_pr.json` (override the path
@@ -36,6 +41,7 @@ use hetero_spmm::hetsim::{CpuDevice, GpuDevice};
 use hetero_spmm::parallel::ThreadPool;
 use hetero_spmm::prelude::*;
 use hetero_spmm::serve::{replay, MultiplyRequest, ReplayOptions, ServiceConfig, SpmmService};
+use hetero_spmm::sparse::binning::stats as bin_stats;
 
 fn run(name: &str, a: &CsrMatrix<f64>, cpu: &mut CpuDevice, gpu: &mut GpuDevice) {
     cpu.reset();
@@ -97,10 +103,13 @@ fn main() {
     let phase1 = phase1_perf();
     let exec = exec_perf();
     let spa = spa_perf();
+    let simd = simd_perf();
+    let csrmm = csrmm_perf();
     let serve = serve_perf();
 
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_pr.json".into());
-    let json = format!("{{\n{engine},\n{phase1},\n{exec},\n{spa},\n{serve}\n}}\n");
+    let json =
+        format!("{{\n{engine},\n{phase1},\n{exec},\n{spa},\n{simd},\n{csrmm},\n{serve}\n}}\n");
     std::fs::write(&path, json).expect("write smoke-perf artifact");
     println!("wrote {path}");
 }
@@ -424,9 +433,13 @@ fn spa_perf() -> String {
             std::hint::black_box(hh_cpu(&mut ctx, &a, &a, &fixed_cfg));
             fixed_ms = fixed_ms.min(t0.elapsed().as_secs_f64() * 1e3);
 
+            // per-bin tallies collected only around the timed adaptive
+            // runs, so the spa_bin_* keys describe exactly what was timed
+            bin_stats::enable(true);
             let t0 = Instant::now();
             std::hint::black_box(hh_cpu(&mut ctx, &a, &a, &adaptive_cfg));
             adaptive_ms = adaptive_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            bin_stats::enable(false);
         }
         println!(
             "  {name:<14} fixed {fixed_ms:>8.2} ms | adaptive {adaptive_ms:>8.2} ms | {:.2}x",
@@ -445,14 +458,200 @@ fn spa_perf() -> String {
         fixed_total / adaptive_total
     );
 
+    // Per-bin tallies from the timed adaptive runs, aggregated over every
+    // clone and rep: how many rows each accumulator shape handled, how many
+    // output entries it drained, and its drain throughput. This is the
+    // data the bin thresholds (`TINY_PRODUCT_FLOPS`, `BinThresholds`) are
+    // tuned from.
+    let snap = bin_stats::take();
+    let mut bin_keys = Vec::new();
+    println!("  per-bin (timed adaptive runs, all clones):");
+    for (i, bname) in bin_stats::BIN_NAMES.iter().enumerate() {
+        let ms = snap.ns[i] as f64 / 1e6;
+        let mps = if snap.ns[i] > 0 {
+            snap.entries[i] as f64 * 1e3 / snap.ns[i] as f64
+        } else {
+            0.0
+        };
+        println!(
+            "    {bname:<6} {:>9} rows | {:>10} entries | {ms:>9.2} ms | {mps:>8.2} Mentry/s",
+            snap.rows[i], snap.entries[i],
+        );
+        bin_keys.push(format!(
+            "  \"spa_bin_{bname}_rows\": {},\n  \
+             \"spa_bin_{bname}_entries\": {},\n  \
+             \"spa_bin_{bname}_ms\": {ms:.4},\n  \
+             \"spa_bin_{bname}_mentries_per_s\": {mps:.4}",
+            snap.rows[i], snap.entries[i],
+        ));
+    }
+
     format!(
         "  \"spa_host_threads\": {threads},\n  \
          \"spa_fixed_ms\": {fixed_total:.4},\n  \
          \"spa_adaptive_ms\": {adaptive_total:.4},\n  \
          \"spa_speedup\": {:.4},\n  \
-         \"spa_matrices\": [\n{}\n  ]",
+         \"spa_matrices\": [\n{}\n  ],\n{}",
         fixed_total / adaptive_total,
         rows.join(",\n"),
+        bin_keys.join(",\n"),
+    )
+}
+
+/// Normalize a catalog name into a flat JSON key fragment.
+fn slug(name: &str) -> String {
+    name.to_lowercase().replace('-', "_")
+}
+
+/// Time the host numeric engine — symbolic + binned numeric + concat, the
+/// loops PR 7 vectorized — with SIMD dispatch forced to the scalar oracle
+/// vs the auto-detected level, on every Table I clone. Hard-fails if the
+/// two levels differ by a single output bit. Returns the JSON fragment
+/// (flat per-matrix `simd_speedup_<name>` keys so floors can pin each
+/// clone) for the CI artifact.
+fn simd_perf() -> String {
+    let reps = 3;
+    // one host thread on purpose: the probe measures the kernels' scalar
+    // vs vector dispatch, and thread-scope spawns on a shared CI core add
+    // noise an order of magnitude above the effect being measured
+    let pool = ThreadPool::new(1);
+
+    simd::set_forced(None);
+    let auto = simd::level();
+    println!(
+        "\nsimd-perf: numeric engine, scalar oracle vs dispatched ({auto:?}) on every clone (best of {reps}):"
+    );
+    let mut rows = Vec::new();
+    let mut flat = Vec::new();
+    let (mut scalar_total, mut vector_total) = (0.0f64, 0.0f64);
+    for d in Dataset::all() {
+        let name = d.entry().name;
+        let a = d.load::<f64>(32);
+        let all_rows: Vec<usize> = (0..a.nrows()).collect();
+        let shape = (a.nrows(), a.ncols());
+
+        // the hard gate: forced-scalar and dispatched runs must agree on
+        // every bit of the product before either is timed
+        simd::set_forced(Some(SimdLevel::Scalar));
+        let want = {
+            let block = row_products(&a, &a, &all_rows, None, &pool);
+            concat_row_blocks(&[block], shape, &pool)
+        };
+        simd::set_forced(None);
+        let got = {
+            let block = row_products(&a, &a, &all_rows, None, &pool);
+            concat_row_blocks(&[block], shape, &pool)
+        };
+        assert_eq!(got, want, "{name}: SIMD dispatch changed the product");
+
+        let (mut scalar_ms, mut vector_ms) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            simd::set_forced(Some(SimdLevel::Scalar));
+            let t0 = Instant::now();
+            let block = row_products(&a, &a, &all_rows, None, &pool);
+            std::hint::black_box(concat_row_blocks(&[block], shape, &pool));
+            scalar_ms = scalar_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+            simd::set_forced(None);
+            let t0 = Instant::now();
+            let block = row_products(&a, &a, &all_rows, None, &pool);
+            std::hint::black_box(concat_row_blocks(&[block], shape, &pool));
+            vector_ms = vector_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let speedup = scalar_ms / vector_ms;
+        println!(
+            "  {name:<14} scalar {scalar_ms:>8.2} ms | simd {vector_ms:>8.2} ms | {speedup:.2}x"
+        );
+        scalar_total += scalar_ms;
+        vector_total += vector_ms;
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"simd_scalar_ms\": {scalar_ms:.4}, \
+             \"simd_vector_ms\": {vector_ms:.4}, \"simd_speedup\": {speedup:.4}}}",
+        ));
+        flat.push(format!("  \"simd_speedup_{}\": {speedup:.4}", slug(name)));
+    }
+    simd::set_forced(None);
+    println!(
+        "  simd total: scalar {scalar_total:.2} ms | simd {vector_total:.2} ms | {:.2}x",
+        scalar_total / vector_total
+    );
+
+    format!(
+        "  \"simd_level\": \"{auto:?}\",\n  \
+         \"simd_scalar_ms\": {scalar_total:.4},\n  \
+         \"simd_vector_ms\": {vector_total:.4},\n  \
+         \"simd_speedup\": {:.4},\n  \
+         \"simd_matrices\": [\n{}\n  ],\n{}",
+        scalar_total / vector_total,
+        rows.join(",\n"),
+        flat.join(",\n"),
+    )
+}
+
+/// Time the register-tiled csrmm sweep against the naive reference triple
+/// loop, hard-failing on any bit drift, and check the opt-in tree-reduced
+/// kernel against its tolerance. Returns the JSON fragment for the CI
+/// artifact.
+fn csrmm_perf() -> String {
+    let reps = 3;
+    let a = scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(4_000, 40_000, 2.1, 9));
+    let k = 32;
+    let data: Vec<f64> = (0..a.ncols() * k)
+        .map(|i| ((i * 13) % 37) as f64 * 0.125 - 2.0)
+        .collect();
+    let b = DenseMatrix::from_row_major(a.ncols(), k, data);
+
+    // gates first: tiled must match the naive reference bit for bit, the
+    // tree-reduced opt-in only to a tolerance
+    let naive = reference::csrmm(&a, &b).unwrap();
+    let mut ctx = HeteroContext::paper();
+    let tiled = cpu_csrmm(&mut ctx, &a, &b).c;
+    assert!(
+        naive
+            .data()
+            .iter()
+            .zip(tiled.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "tiled csrmm drifted from the reference bits"
+    );
+    let tree = hh_csrmm_with_kernel(
+        &mut ctx,
+        &a,
+        &b,
+        ThresholdPolicy::Fixed { t_a: 8, t_b: 8 },
+        CsrmmKernel::TreeReduced,
+    )
+    .c;
+    assert!(
+        tree.approx_eq(&naive, 1e-9, 1e-12),
+        "tree-reduced csrmm outside tolerance"
+    );
+
+    let (mut naive_ms, mut tiled_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(reference::csrmm(&a, &b).unwrap());
+        naive_ms = naive_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+        // raw kernel sweep — csrmm_compute, not cpu_csrmm, so the timing
+        // excludes the simulated device cost model
+        let t0 = Instant::now();
+        std::hint::black_box(csrmm_compute(&a, &b, CsrmmKernel::Tiled));
+        tiled_ms = tiled_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let speedup = naive_ms / tiled_ms;
+    println!(
+        "\ncsrmm-perf (n={}, nnz={}, k={k}, best of {reps}):\n\
+         naive {naive_ms:.2} ms | tiled {tiled_ms:.2} ms | {speedup:.2}x",
+        a.nrows(),
+        a.nnz(),
+    );
+
+    format!(
+        "  \"csrmm_k\": {k},\n  \
+         \"csrmm_naive_ms\": {naive_ms:.4},\n  \
+         \"csrmm_tiled_ms\": {tiled_ms:.4},\n  \
+         \"csrmm_speedup\": {speedup:.4}"
     )
 }
 

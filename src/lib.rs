@@ -60,7 +60,7 @@ pub use spmm_workqueue as workqueue;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use spmm_core::{
-        csrmm::{cpu_csrmm, gpu_csrmm, hh_csrmm},
+        csrmm::{cpu_csrmm, csrmm_compute, gpu_csrmm, hh_csrmm, hh_csrmm_with_kernel, CsrmmKernel},
         cusparse_like, hh_cpu, hipc2012, hipc2012_with, mkl_like, sorted_workqueue,
         sorted_workqueue_with, unsorted_workqueue, unsorted_workqueue_with, AccumStrategy,
         ExecConfig, ExecPolicy, HeteroContext, HhCpuConfig, PhaseBreakdown, Platform, SpmmOutput,
@@ -71,6 +71,7 @@ pub mod prelude {
         RowSizeDistribution, CATALOG,
     };
     pub use spmm_sparse::{
-        reference, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, RowHistogram, Scalar,
+        reference, simd, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, RowHistogram, Scalar,
+        SimdLevel,
     };
 }
