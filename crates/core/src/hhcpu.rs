@@ -86,6 +86,53 @@ impl SpmmArtifacts {
         }
     }
 
+    /// Derive the artifacts for one contiguous row band of A, given the
+    /// band materialized by [`CsrMatrix::row_band`] over the same range.
+    ///
+    /// This is the sharding contract's load-bearing move: Phase I ran
+    /// *once* on the full operands, and every band inherits the global
+    /// thresholds, the global `B` classification, and its slice of the
+    /// global `A` masks and GPU width tables. Because every downstream
+    /// decision that touches C's *bits* (which mask covers which row, how
+    /// rows merge) depends only on the row's own content plus these global
+    /// masks, a band run with sliced artifacts produces rows bit-identical
+    /// to the monolithic run — re-running Phase I per band would not
+    /// (per-band thresholds would reclassify rows).
+    ///
+    /// The `w_high` table is deliberately *not* sliced: it is lazily built
+    /// over `A_L` rows on first GPU drain of the CPU queue end, and each
+    /// band memoises its own on demand from the same deterministic
+    /// computation.
+    pub fn for_row_band<T: Scalar>(
+        &self,
+        rows: std::ops::Range<usize>,
+        band: &CsrMatrix<T>,
+    ) -> SpmmArtifacts {
+        assert_eq!(
+            band.nrows(),
+            rows.len(),
+            "band matrix must cover exactly the requested rows"
+        );
+        let th = &self.plan.thresholds;
+        assert!(rows.end <= th.a_high.len(), "band range exceeds A");
+        let plan = Phase1Plan {
+            thresholds: threshold::Thresholds {
+                t_a: th.t_a,
+                t_b: th.t_b,
+                a_high: th.a_high[rows.clone()].to_vec(),
+                b_high: th.b_high.clone(),
+            },
+            sym_a: threshold::SymbolicStructure::from_matrix(band),
+            sym_b: Some(self.plan.sym_b().clone()),
+        };
+        SpmmArtifacts {
+            policy: self.policy,
+            plan,
+            w_low: self.w_low[rows].to_vec(),
+            w_high: OnceLock::new(),
+        }
+    }
+
     /// Approximate heap footprint, for serve-layer cache accounting.
     pub fn byte_size(&self) -> usize {
         let plan = &self.plan;

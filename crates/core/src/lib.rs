@@ -35,6 +35,7 @@ pub mod kernels;
 pub mod merge;
 pub mod result;
 pub mod schedule;
+pub mod shard;
 pub mod spmv;
 pub mod threshold;
 pub mod units;
@@ -46,6 +47,10 @@ pub use hhcpu::{hh_cpu, hh_cpu_with_artifacts, HhCpuConfig, SpmmArtifacts};
 pub use hipc2012::{hipc2012, hipc2012_with};
 pub use result::SpmmOutput;
 pub use schedule::{ClaimSchedule, ExecConfig, ExecCounts, ExecPolicy, ScheduledClaim};
+pub use shard::{
+    concat_row_bands, hh_cpu_sharded, hh_cpu_sharded_with_artifacts, sum_profiles, ShardConfig,
+    ShardMode, ShardPlan, ShardedOutput,
+};
 pub use threshold::{identify_plan, Phase1Plan, SymbolicStructure, ThresholdPolicy, Thresholds};
 pub use units::WorkUnitConfig;
 pub use vendor::{cusparse_like, mkl_like};

@@ -1,0 +1,568 @@
+//! Sharded out-of-core SpGEMM: row-band partitioning over the HH-CPU
+//! engine, with a memory-capped spill mode and a simulated 1.5D
+//! communication sweep.
+//!
+//! A shard is "a claim schedule with a row offset": the [`ShardPlan`]
+//! cuts A into contiguous nnz-balanced row bands, each band × full B runs
+//! through the unmodified [`hh_cpu_with_artifacts`] engine against
+//! artifacts *sliced from one global Phase I* ([`SpmmArtifacts::for_row_band`]),
+//! and the per-band CSR outputs are stitched back into monolithic C by
+//! pure indptr offset fix-up — no re-sort, no re-merge. Bit-identity of
+//! the stitched C to the monolithic run is a theorem of the engine's
+//! structure (see DESIGN.md §3.7), and `tests/shard_equivalence.rs`
+//! enforces it across every shard count × mode × thread count × clone.
+//!
+//! Two execution modes ([`ShardMode`]):
+//!
+//! * **Pooled** — shards fan out across the host [`ThreadPool`], each on
+//!   a serial inner engine sharing the `Arc<WorkspacePool>` (the same
+//!   outer-parallel/inner-serial shape as the serve layer's micro-batch).
+//! * **Out-of-core** — shards run sequentially on the full host pool
+//!   under a byte cap; finished shard outputs spill to disk as binary CSR
+//!   chunks (`spmm_sparse::io::write_csr_chunk`) and stream back only for
+//!   the final concat, so peak residency is one shard's working set plus
+//!   whatever fits under the cap.
+//!
+//! The [`ShardLink`] model prices the communication a real 1.5D
+//! decomposition would pay (B replication factor `c` trades resident
+//! memory against B-shift traffic) so the tradeoff is measurable before
+//! any real multi-process work.
+
+use std::sync::Mutex;
+
+use spmm_hetsim::{PhaseBreakdown, PhaseTimes, ShardLink, ShardLinkCost};
+use spmm_parallel::ThreadPool;
+use spmm_sparse::io::{read_csr_chunk, write_csr_chunk};
+use spmm_sparse::{CsrMatrix, Scalar, SparseError};
+
+use crate::context::HeteroContext;
+use crate::hhcpu::{hh_cpu_with_artifacts, HhCpuConfig, SpmmArtifacts};
+use crate::result::SpmmOutput;
+
+/// Partition of A's rows into contiguous, nnz-balanced bands.
+///
+/// `bounds` has `shards + 1` entries with `bounds[0] == 0` and
+/// `bounds[shards] == nrows`; band `i` is rows `bounds[i]..bounds[i+1]`.
+/// Cuts sit where A's `indptr` first reaches each target `i·nnz/k`
+/// (binary search — the row pointers *are* the nnz prefix sums), so a few
+/// hub rows don't leave one band with most of the work the way a
+/// row-count split would on a scale-free matrix. Every band is non-empty;
+/// the shard count is clamped to the row count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Plan `shards` nnz-balanced bands over `a`'s rows.
+    pub fn nnz_balanced<T: Scalar>(a: &CsrMatrix<T>, shards: usize) -> Self {
+        let nrows = a.nrows();
+        let k = shards.clamp(1, nrows.max(1));
+        let nnz = a.nnz();
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(0);
+        for i in 1..k {
+            let cut = if nnz == 0 {
+                i * nrows / k
+            } else {
+                // first row pointer at or past the i-th nnz target
+                let target = i * nnz / k;
+                a.indptr().partition_point(|&p| p < target).min(nrows)
+            };
+            // keep bands non-empty: at least one row each side of the cut
+            let prev = *bounds.last().unwrap();
+            bounds.push(cut.clamp(prev + 1, nrows - (k - i)));
+        }
+        bounds.push(nrows);
+        Self { bounds }
+    }
+
+    /// Number of bands.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Row range of band `i`.
+    pub fn band(&self, i: usize) -> std::ops::Range<usize> {
+        self.bounds[i]..self.bounds[i + 1]
+    }
+
+    /// The `shards + 1` band boundaries.
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+}
+
+/// How the planned shards execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Shards fan out across the host pool, serial inner engines.
+    Pooled,
+    /// Shards run sequentially on the full host pool; finished outputs
+    /// spill to disk whenever their resident CSR bytes exceed `byte_cap`.
+    OutOfCore { byte_cap: usize },
+}
+
+/// Configuration of one sharded multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Requested band count (clamped to A's row count by the planner).
+    pub shards: usize,
+    /// Execution mode.
+    pub mode: ShardMode,
+    /// B replication factor for the simulated 1.5D link sweep (clamped to
+    /// `[1, shards]` by the model). Purely an accounting input: it never
+    /// changes C or the per-shard profiles.
+    pub replication: usize,
+}
+
+impl ShardConfig {
+    /// Pooled execution over `shards` bands, replication 1.
+    pub fn pooled(shards: usize) -> Self {
+        Self {
+            shards,
+            mode: ShardMode::Pooled,
+            replication: 1,
+        }
+    }
+
+    /// Sequential out-of-core execution under `byte_cap` resident bytes.
+    pub fn out_of_core(shards: usize, byte_cap: usize) -> Self {
+        Self {
+            shards,
+            mode: ShardMode::OutOfCore { byte_cap },
+            replication: 1,
+        }
+    }
+
+    /// Same config at a different replication factor.
+    pub fn with_replication(mut self, c: usize) -> Self {
+        self.replication = c;
+        self
+    }
+}
+
+/// Result of a sharded multiply: the stitched monolithic-equivalent
+/// output plus the per-shard accounting the monolithic path cannot give.
+#[derive(Debug)]
+pub struct ShardedOutput<T: Scalar> {
+    /// Stitched C and aggregate profile. `C` is bit-identical to the
+    /// monolithic [`crate::hh_cpu`] on the same operands; the profile is
+    /// the field-wise sum of `per_shard` (see DESIGN.md §3.7 for why that
+    /// is the defined aggregation, not equality with the monolithic
+    /// profile).
+    pub output: SpmmOutput<T>,
+    /// One simulated [`PhaseBreakdown`] per band, in band order.
+    /// Mode- and thread-count-invariant for a fixed plan.
+    pub per_shard: Vec<PhaseBreakdown>,
+    /// The band partition that was executed.
+    pub plan: ShardPlan,
+    /// How many shard outputs took the disk round-trip (0 in pooled mode).
+    pub spilled_shards: usize,
+    /// Simulated 1.5D communication bill at `config.replication`.
+    pub link: ShardLinkCost,
+}
+
+/// Field-wise sum of per-shard simulated profiles — the defined
+/// aggregation for a sharded run (each band is a full engine pass, so
+/// phases accumulate; there is no overlap model across bands).
+pub fn sum_profiles(profiles: &[PhaseBreakdown]) -> PhaseBreakdown {
+    let mut total = PhaseBreakdown::default();
+    for p in profiles {
+        for (t, s) in [
+            (&mut total.phase1, &p.phase1),
+            (&mut total.phase2, &p.phase2),
+            (&mut total.phase3, &p.phase3),
+            (&mut total.phase4, &p.phase4),
+        ] {
+            *t = PhaseTimes::new(t.cpu_ns + s.cpu_ns, t.gpu_ns + s.gpu_ns);
+        }
+        total.transfer_ns += p.transfer_ns;
+    }
+    total
+}
+
+/// Stitch per-band CSR outputs (in band order) into one matrix by indptr
+/// offset fix-up: each band's row pointers are rebased by the running nnz
+/// total and the index/value arrays are concatenated verbatim. Rows are
+/// never re-sorted or re-merged, so the stitched matrix is bit-identical
+/// to the bands laid end to end.
+pub fn concat_row_bands<T: Scalar>(bands: &[CsrMatrix<T>], ncols: usize) -> CsrMatrix<T> {
+    let nrows: usize = bands.iter().map(CsrMatrix::nrows).sum();
+    let nnz: usize = bands.iter().map(CsrMatrix::nnz).sum();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    indptr.push(0);
+    let mut base = 0usize;
+    for band in bands {
+        debug_assert_eq!(band.ncols(), ncols, "bands must share the output width");
+        indptr.extend(band.indptr()[1..].iter().map(|&p| p + base));
+        indices.extend_from_slice(band.indices());
+        values.extend_from_slice(band.values());
+        base += band.nnz();
+    }
+    CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, indices, values)
+}
+
+/// Run `C = A × B` sharded: global Phase I once, then each row band of A
+/// × full B through the engine under `shard.mode`, stitched by offset
+/// fix-up. See the module docs for the contract.
+pub fn hh_cpu_sharded<T: Scalar>(
+    ctx: &mut HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    config: &HhCpuConfig,
+    shard: &ShardConfig,
+) -> ShardedOutput<T> {
+    let artifacts = SpmmArtifacts::build(ctx, a, b, config.policy);
+    hh_cpu_sharded_with_artifacts(ctx, a, b, config, shard, &artifacts)
+}
+
+/// [`hh_cpu_sharded`] against precomputed *global* artifacts (the serve
+/// layer's warm path — the same artifacts serve monolithic and sharded
+/// multiplies of the operands, because the plan is shard-invariant).
+pub fn hh_cpu_sharded_with_artifacts<T: Scalar>(
+    ctx: &mut HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    config: &HhCpuConfig,
+    shard: &ShardConfig,
+    artifacts: &SpmmArtifacts,
+) -> ShardedOutput<T> {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "A and B incompatible for multiplication"
+    );
+    let plan = ShardPlan::nnz_balanced(a, shard.shards);
+    let p = plan.shards();
+
+    // Bands and their sliced artifacts are cheap to build (one memcpy of
+    // the band arrays + one symbolic scan); the engine runs dominate.
+    let bands: Vec<CsrMatrix<T>> = (0..p).map(|i| a.row_band(plan.band(i))).collect();
+    let band_a_bytes: Vec<usize> = bands.iter().map(CsrMatrix::byte_size).collect();
+
+    let run_band = |i: usize, band_ctx: &mut HeteroContext| -> SpmmOutput<T> {
+        let band_artifacts = artifacts.for_row_band(plan.band(i), &bands[i]);
+        hh_cpu_with_artifacts(band_ctx, &bands[i], b, config, &band_artifacts)
+    };
+
+    let mut spilled_shards = 0usize;
+    let outputs: Vec<SpmmOutput<T>> = match shard.mode {
+        ShardMode::Pooled => {
+            // Outer-parallel, inner-serial: the same shape as the serve
+            // layer's micro-batch. Device models are per-band (cheap);
+            // the workspace pool is the shared, thread-keyed resource.
+            ctx.pool.par_map(p, |i| {
+                let mut band_ctx = HeteroContext::with_shared(
+                    ctx.platform,
+                    ThreadPool::new(1),
+                    ctx.workspaces.clone(),
+                );
+                run_band(i, &mut band_ctx)
+            })
+        }
+        ShardMode::OutOfCore { byte_cap } => {
+            let mut spill = SpillStore::new(byte_cap);
+            let mut outs: Vec<SpmmOutput<T>> = Vec::with_capacity(p);
+            for i in 0..p {
+                let mut out = run_band(i, ctx);
+                // Hand the finished C band to the spill store, which
+                // evicts oldest-first whenever residency exceeds the cap;
+                // the matrix left in the output is an empty placeholder.
+                let c = std::mem::replace(&mut out.c, CsrMatrix::zeros(0, 0));
+                spill.push(i, c).expect("shard spill write failed");
+                outs.push(out);
+            }
+            // Stream every band back (disk or memory) in band order.
+            let restored = spill.drain().expect("shard spill read failed");
+            spilled_shards = spill.spilled();
+            for (out, c) in outs.iter_mut().zip(restored) {
+                out.c = c;
+            }
+            outs
+        }
+    };
+
+    let per_shard: Vec<PhaseBreakdown> = outputs.iter().map(|o| o.profile).collect();
+    let tuples_merged: usize = outputs.iter().map(|o| o.tuples_merged).sum();
+    let band_cs: Vec<CsrMatrix<T>> = outputs.into_iter().map(|o| o.c).collect();
+    let band_c_bytes: Vec<usize> = band_cs.iter().map(CsrMatrix::byte_size).collect();
+
+    let c = concat_row_bands(&band_cs, b.ncols());
+    let profile = sum_profiles(&per_shard);
+    let th = &artifacts.plan.thresholds;
+    let output = SpmmOutput {
+        c,
+        profile,
+        threshold_a: th.t_a,
+        threshold_b: th.t_b,
+        hd_rows_a: th.hd_rows_a(),
+        hd_rows_b: th.hd_rows_b(),
+        tuples_merged,
+    };
+
+    let link = ShardLink::from_pci(ctx.link).cost(
+        shard.replication,
+        &band_a_bytes,
+        b.byte_size(),
+        &band_c_bytes,
+    );
+
+    ShardedOutput {
+        output,
+        per_shard,
+        plan,
+        spilled_shards,
+        link,
+    }
+}
+
+/// Oldest-first spill store for out-of-core shard outputs: keeps finished
+/// C bands in memory up to `byte_cap` CSR bytes, writing the overflow to
+/// binary chunk files in a per-run temp directory. `drain` returns every
+/// band in order and removes the directory.
+struct SpillStore<T: Scalar> {
+    byte_cap: usize,
+    resident_bytes: usize,
+    /// `(shard index, Some(resident) | None(spilled))`, oldest first.
+    slots: Vec<(usize, Option<CsrMatrix<T>>)>,
+    dir: Option<std::path::PathBuf>,
+    spilled: usize,
+}
+
+impl<T: Scalar> SpillStore<T> {
+    fn new(byte_cap: usize) -> Self {
+        Self {
+            byte_cap,
+            resident_bytes: 0,
+            slots: Vec::new(),
+            dir: None,
+            spilled: 0,
+        }
+    }
+
+    fn spilled(&self) -> usize {
+        self.spilled
+    }
+
+    fn chunk_path(dir: &std::path::Path, shard: usize) -> std::path::PathBuf {
+        dir.join(format!("shard-{shard}.csr"))
+    }
+
+    fn push(&mut self, shard: usize, c: CsrMatrix<T>) -> Result<(), SparseError> {
+        self.resident_bytes += c.byte_size();
+        self.slots.push((shard, Some(c)));
+        let mut oldest = 0;
+        while self.resident_bytes > self.byte_cap && oldest < self.slots.len() {
+            let (idx, slot) = &mut self.slots[oldest];
+            oldest += 1;
+            let Some(m) = slot.take() else { continue };
+            let dir = match &self.dir {
+                Some(d) => d.clone(),
+                None => {
+                    let d = spill_dir()?;
+                    self.dir = Some(d.clone());
+                    d
+                }
+            };
+            let file = std::fs::File::create(Self::chunk_path(&dir, *idx))?;
+            let mut writer = std::io::BufWriter::new(file);
+            write_csr_chunk(&m, &mut writer)?;
+            use std::io::Write;
+            writer.flush()?;
+            self.resident_bytes -= m.byte_size();
+            self.spilled += 1;
+        }
+        Ok(())
+    }
+
+    fn drain(&mut self) -> Result<Vec<CsrMatrix<T>>, SparseError> {
+        let mut slots = std::mem::take(&mut self.slots);
+        slots.sort_by_key(|(idx, _)| *idx);
+        let mut out = Vec::with_capacity(slots.len());
+        for (idx, slot) in slots {
+            match slot {
+                Some(m) => out.push(m),
+                None => {
+                    let dir = self.dir.as_ref().expect("spilled shard without a dir");
+                    let file = std::fs::File::open(Self::chunk_path(dir, idx))?;
+                    let mut reader = std::io::BufReader::new(file);
+                    out.push(read_csr_chunk(&mut reader)?);
+                }
+            }
+        }
+        if let Some(dir) = self.dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Scalar> Drop for SpillStore<T> {
+    fn drop(&mut self) {
+        if let Some(dir) = self.dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// Unique spill directory per call: pid + a process-global counter, no
+/// wall clock (the repo's determinism discipline) and no collisions
+/// between concurrent sharded runs in one process.
+fn spill_dir() -> Result<std::path::PathBuf, SparseError> {
+    static COUNTER: Mutex<u64> = Mutex::new(0);
+    let n = {
+        let mut guard = COUNTER.lock().unwrap();
+        *guard += 1;
+        *guard
+    };
+    let dir = std::env::temp_dir().join(format!("spmm-shard-{}-{}", std::process::id(), n));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hhcpu::hh_cpu;
+    use spmm_scalefree::GeneratorConfig;
+
+    fn matrix(seed: u64) -> CsrMatrix<f64> {
+        spmm_scalefree::scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(
+            300, 2_000, 2.1, seed,
+        ))
+    }
+
+    #[test]
+    fn plan_covers_all_rows_with_balanced_nnz() {
+        let a = matrix(7);
+        for shards in [1, 2, 3, 8] {
+            let plan = ShardPlan::nnz_balanced(&a, shards);
+            assert_eq!(plan.shards(), shards);
+            assert_eq!(plan.bounds()[0], 0);
+            assert_eq!(*plan.bounds().last().unwrap(), a.nrows());
+            let mut total = 0;
+            for i in 0..plan.shards() {
+                let band = plan.band(i);
+                assert!(!band.is_empty(), "band {i} empty");
+                total += band.len();
+            }
+            assert_eq!(total, a.nrows());
+            // nnz balance: no band more than ~2× the ideal share + one
+            // hub row (cuts land on row boundaries)
+            let ideal = a.nnz() / shards;
+            let max_row = a.max_row_nnz();
+            for i in 0..plan.shards() {
+                let band = plan.band(i);
+                let nnz = a.indptr()[band.end] - a.indptr()[band.start];
+                assert!(
+                    nnz <= 2 * ideal + max_row,
+                    "band {i} holds {nnz} of ~{ideal}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_clamps_shards_to_rows() {
+        let tiny = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).unwrap();
+        let plan = ShardPlan::nnz_balanced(&tiny, 8);
+        assert_eq!(plan.shards(), 2);
+        let empty = CsrMatrix::<f64>::zeros(5, 5);
+        let plan = ShardPlan::nnz_balanced(&empty, 3);
+        assert_eq!(plan.shards(), 3);
+        assert_eq!(plan.bounds(), &[0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn concat_inverts_row_band() {
+        let a = matrix(11);
+        let plan = ShardPlan::nnz_balanced(&a, 5);
+        let bands: Vec<_> = (0..5).map(|i| a.row_band(plan.band(i))).collect();
+        let back = concat_row_bands(&bands, a.ncols());
+        assert_eq!(back, a);
+        assert_eq!(back.content_hash(), a.content_hash());
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_both_modes() {
+        let a = matrix(3);
+        let mut ctx = HeteroContext::paper().with_host_threads(2);
+        let config = HhCpuConfig::default();
+        let mono = hh_cpu(&mut ctx, &a, &a, &config);
+        for mode in [ShardMode::Pooled, ShardMode::OutOfCore { byte_cap: 0 }] {
+            let shard = ShardConfig {
+                shards: 3,
+                mode,
+                replication: 1,
+            };
+            let out = hh_cpu_sharded(&mut ctx, &a, &a, &config, &shard);
+            assert_eq!(out.output.c.content_hash(), mono.c.content_hash());
+            assert_eq!(out.output.c, mono.c);
+            assert_eq!(out.output.tuples_merged, mono.tuples_merged);
+            assert_eq!(out.output.threshold_a, mono.threshold_a);
+            assert_eq!(out.output.hd_rows_a, mono.hd_rows_a);
+            assert_eq!(out.per_shard.len(), 3);
+            if let ShardMode::OutOfCore { .. } = mode {
+                assert_eq!(out.spilled_shards, 3, "byte_cap 0 must spill every shard");
+            } else {
+                assert_eq!(out.spilled_shards, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_is_sum_of_shards_and_mode_invariant() {
+        let a = matrix(5);
+        let b = matrix(6);
+        let mut ctx = HeteroContext::paper().with_host_threads(2);
+        let config = HhCpuConfig::default();
+        let pooled = hh_cpu_sharded(&mut ctx, &a, &b, &config, &ShardConfig::pooled(4));
+        let ooc = hh_cpu_sharded(&mut ctx, &a, &b, &config, &ShardConfig::out_of_core(4, 0));
+        assert_eq!(pooled.per_shard, ooc.per_shard);
+        assert_eq!(pooled.output.profile, sum_profiles(&pooled.per_shard));
+        assert_eq!(pooled.output.c, ooc.output.c);
+    }
+
+    #[test]
+    fn single_shard_cross_product_equals_monolithic_profile() {
+        // With one band and A ≠ B the band run is the monolithic run
+        // (same operands, same artifacts values), so even the simulated
+        // profile must agree to the bit.
+        let a = matrix(9);
+        let b = matrix(10);
+        let mut ctx = HeteroContext::paper();
+        let config = HhCpuConfig::default();
+        let mono = hh_cpu(&mut ctx, &a, &b, &config);
+        let out = hh_cpu_sharded(&mut ctx, &a, &b, &config, &ShardConfig::pooled(1));
+        assert_eq!(out.output.c, mono.c);
+        assert_eq!(out.output.profile, mono.profile);
+        assert_eq!(out.output.tuples_merged, mono.tuples_merged);
+    }
+
+    #[test]
+    fn replication_sweep_is_monotone() {
+        let a = matrix(13);
+        let mut ctx = HeteroContext::paper();
+        let config = HhCpuConfig::default();
+        let sweep: Vec<ShardLinkCost> = [1usize, 2, 4]
+            .iter()
+            .map(|&c| {
+                hh_cpu_sharded(
+                    &mut ctx,
+                    &a,
+                    &a,
+                    &config,
+                    &ShardConfig::pooled(8).with_replication(c),
+                )
+                .link
+            })
+            .collect();
+        for pair in sweep.windows(2) {
+            assert!(pair[1].b_shift_bytes < pair[0].b_shift_bytes);
+            assert!(pair[1].resident_bytes > pair[0].resident_bytes);
+        }
+    }
+}

@@ -37,7 +37,7 @@ pub use gpu::{
     masked_output_widths, masked_output_widths_for, masked_output_widths_for_pooled,
     masked_output_widths_pooled, GpuDevice,
 };
-pub use link::PciLink;
+pub use link::{PciLink, ShardLink, ShardLinkCost};
 pub use platform::{CpuSpec, GpuSpec, LinkSpec, Platform};
 pub use profile::{DeviceKind, PhaseBreakdown, PhaseTimes};
 

@@ -326,6 +326,40 @@ impl<T: Scalar> CsrMatrix<T> {
         CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, indices, values)
     }
 
+    /// Materialize a contiguous row band `rows` as its own CSR matrix of
+    /// shape `(rows.len(), ncols)`. Column indices and value bit patterns
+    /// are copied verbatim and row pointers are rebased to the band start,
+    /// so row `i` of the band is bit-identical to row `rows.start + i` of
+    /// `self`. The sharded SpGEMM driver multiplies each band × full B and
+    /// stitches outputs back with the inverse offset fix-up.
+    ///
+    /// Edge cases (the `RowBlock::default` class of bug): an empty range
+    /// yields `indptr = [0]`, never `[]`, and a band of all-empty rows
+    /// yields `indptr = [0, 0, ...]` with empty `indices`/`values` — both
+    /// are valid CSR and pass [`CsrMatrix::try_new`].
+    pub fn row_band(&self, rows: std::ops::Range<usize>) -> CsrMatrix<T> {
+        assert!(
+            rows.start <= rows.end && rows.end <= self.nrows,
+            "row band {}..{} out of bounds for {} rows",
+            rows.start,
+            rows.end,
+            self.nrows
+        );
+        let base = self.indptr[rows.start];
+        let end = self.indptr[rows.end];
+        let indptr: Vec<usize> = self.indptr[rows.start..=rows.end]
+            .iter()
+            .map(|&p| p - base)
+            .collect();
+        CsrMatrix::from_parts_unchecked(
+            rows.len(),
+            self.ncols,
+            indptr,
+            self.indices[base..end].to_vec(),
+            self.values[base..end].to_vec(),
+        )
+    }
+
     /// Bytes occupied by the CSR arrays — what a CPU→GPU transfer of this
     /// matrix must move over the PCIe link.
     pub fn byte_size(&self) -> usize {
@@ -580,5 +614,67 @@ mod tests {
         assert_eq!(z.nnz(), 0);
         assert_eq!(z.shape(), (3, 7));
         assert_eq!(z.row(2), (&[][..], &[][..]));
+    }
+
+    #[test]
+    fn row_band_slices_rows_bitwise() {
+        let a = example();
+        let band = a.row_band(1..3);
+        assert_eq!(band.shape(), (2, a.ncols()));
+        for (i, r) in (1..3).enumerate() {
+            assert_eq!(band.row(i), a.row(r));
+        }
+        // concatenating bands reconstitutes the matrix exactly
+        let (n, _) = a.shape();
+        let mut nnz = 0;
+        for bounds in [[0, 2, n], [0, 1, n], [0, n, n]] {
+            nnz = 0;
+            for w in bounds.windows(2) {
+                nnz += a.row_band(w[0]..w[1]).nnz();
+            }
+            assert_eq!(nnz, a.nnz());
+        }
+        assert!(nnz > 0);
+    }
+
+    #[test]
+    fn row_band_empty_range_is_valid_csr() {
+        // Regression: a zero-row band must produce indptr = [0], not [].
+        let a = example();
+        for start in 0..=a.nrows() {
+            let band = a.row_band(start..start);
+            assert_eq!(band.shape(), (0, a.ncols()));
+            assert_eq!(band.indptr(), &[0]);
+            let valid = CsrMatrix::<f64>::try_new(
+                band.nrows(),
+                band.ncols(),
+                band.indptr().to_vec(),
+                band.indices().to_vec(),
+                band.values().to_vec(),
+            );
+            assert!(valid.is_ok());
+        }
+    }
+
+    #[test]
+    fn row_band_all_empty_rows_is_valid_csr() {
+        // Regression: a band covering only empty rows must keep one indptr
+        // entry per row (all zeros), not collapse to an empty vec.
+        let a = CsrMatrix::try_new(
+            5,
+            4,
+            vec![0, 2, 2, 2, 2, 3],
+            vec![0, 3, 1],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let band = a.row_band(1..4);
+        assert_eq!(band.shape(), (3, 4));
+        assert_eq!(band.indptr(), &[0, 0, 0, 0]);
+        assert_eq!(band.nnz(), 0);
+        // band ending on the trailing empty run
+        let tail = a.row_band(4..5);
+        assert_eq!(tail.indptr(), &[0, 1]);
+        assert_eq!(tail.row(0), a.row(4));
     }
 }

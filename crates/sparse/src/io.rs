@@ -184,6 +184,111 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
     coo.to_csr()
 }
 
+/// Magic prefix of the binary CSR spill chunk format (see
+/// [`write_csr_chunk`]). Version-suffixed so a layout change can bump it.
+pub const CSR_CHUNK_MAGIC: &[u8; 8] = b"SPMMCSR1";
+
+/// Write a CSR matrix as a binary spill chunk.
+///
+/// This is the out-of-core shard format: a fixed little-endian layout that
+/// round-trips *bit patterns*, not decimal renderings, so a spilled shard
+/// output reloads bit-identical (NaN payloads and `-0.0` included) — the
+/// text Matrix Market path cannot promise that. Layout, all little-endian:
+///
+/// ```text
+/// magic    8 bytes  "SPMMCSR1"
+/// dtype    u64      size_of::<T>() (4 = f32, 8 = f64)
+/// nrows    u64
+/// ncols    u64
+/// nnz      u64
+/// indptr   (nrows+1) × u64
+/// indices  nnz × u32
+/// values   nnz × dtype bytes (IEEE bit patterns)
+/// ```
+///
+/// Arrays are laid out contiguously and aligned only to their element size,
+/// which keeps the format mmap-friendly for a future reader that maps the
+/// chunk instead of copying it.
+pub fn write_csr_chunk<T: Scalar, W: Write>(
+    matrix: &CsrMatrix<T>,
+    writer: &mut W,
+) -> Result<(), SparseError> {
+    let dtype = std::mem::size_of::<T>() as u64;
+    writer.write_all(CSR_CHUNK_MAGIC)?;
+    for header in [
+        dtype,
+        matrix.nrows() as u64,
+        matrix.ncols() as u64,
+        matrix.nnz() as u64,
+    ] {
+        writer.write_all(&header.to_le_bytes())?;
+    }
+    for &p in matrix.indptr() {
+        writer.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &c in matrix.indices() {
+        writer.write_all(&c.to_le_bytes())?;
+    }
+    for &v in matrix.values() {
+        let bits = v.value_bits();
+        writer.write_all(&bits.to_le_bytes()[..dtype as usize])?;
+    }
+    Ok(())
+}
+
+/// Read a binary CSR spill chunk written by [`write_csr_chunk`].
+///
+/// Validates the magic, the dtype tag against `T`, and (via
+/// [`CsrMatrix::try_new`]) the structural invariants of the arrays, so a
+/// truncated or cross-typed chunk fails loudly instead of producing a
+/// corrupt matrix.
+pub fn read_csr_chunk<T: Scalar, R: Read>(reader: &mut R) -> Result<CsrMatrix<T>, SparseError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != CSR_CHUNK_MAGIC {
+        return Err(SparseError::Parse {
+            line: 0,
+            msg: format!("bad CSR chunk magic {magic:?}"),
+        });
+    }
+    let mut word = [0u8; 8];
+    let mut read_u64 = |reader: &mut R| -> Result<u64, SparseError> {
+        reader.read_exact(&mut word)?;
+        Ok(u64::from_le_bytes(word))
+    };
+    let dtype = read_u64(reader)? as usize;
+    if dtype != std::mem::size_of::<T>() {
+        return Err(SparseError::Parse {
+            line: 0,
+            msg: format!(
+                "CSR chunk dtype is {dtype} bytes, expected {} for {}",
+                std::mem::size_of::<T>(),
+                std::any::type_name::<T>()
+            ),
+        });
+    }
+    let nrows = read_u64(reader)? as usize;
+    let ncols = read_u64(reader)? as usize;
+    let nnz = read_u64(reader)? as usize;
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    for _ in 0..nrows + 1 {
+        indptr.push(read_u64(reader)? as usize);
+    }
+    let mut indices = Vec::with_capacity(nnz);
+    let mut half = [0u8; 4];
+    for _ in 0..nnz {
+        reader.read_exact(&mut half)?;
+        indices.push(u32::from_le_bytes(half));
+    }
+    let mut values = Vec::with_capacity(nnz);
+    let mut bits = [0u8; 8];
+    for _ in 0..nnz {
+        reader.read_exact(&mut bits[..dtype])?;
+        values.push(T::from_value_bits(u64::from_le_bytes(bits)));
+    }
+    CsrMatrix::try_new(nrows, ncols, indptr, indices, values)
+}
+
 /// Write a CSR matrix as `matrix coordinate real general`.
 pub fn write_matrix_market<T: Scalar, W: Write>(
     matrix: &CsrMatrix<T>,
@@ -278,5 +383,104 @@ mod tests {
         let m: CsrMatrix<f64> = read_matrix_market_from(src.as_bytes()).unwrap();
         assert_eq!(m.get(0, 0), 3.0);
         assert_eq!(m.nnz(), 1);
+    }
+
+    fn chunk_roundtrip<T: Scalar>(m: &CsrMatrix<T>) -> CsrMatrix<T> {
+        let mut buf = Vec::new();
+        write_csr_chunk(m, &mut buf).unwrap();
+        read_csr_chunk(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn chunk_roundtrip_with_empty_rows() {
+        // leading, interior, and trailing empty rows all survive
+        let m = CsrMatrix::try_new(
+            5,
+            3,
+            vec![0, 0, 2, 2, 3, 3],
+            vec![0, 2, 1],
+            vec![1.5f64, -2.5, 0.25],
+        )
+        .unwrap();
+        assert_eq!(chunk_roundtrip(&m), m);
+    }
+
+    #[test]
+    fn chunk_roundtrip_rectangular() {
+        let wide =
+            CsrMatrix::try_new(2, 7, vec![0, 1, 3], vec![6, 0, 4], vec![1.0f64, 2.0, 3.0]).unwrap();
+        let tall = CsrMatrix::try_new(
+            7,
+            2,
+            vec![0, 1, 1, 1, 2, 2, 2, 2],
+            vec![1, 0],
+            vec![4.0f64, 5.0],
+        )
+        .unwrap();
+        assert_eq!(chunk_roundtrip(&wide), wide);
+        assert_eq!(chunk_roundtrip(&tall), tall);
+    }
+
+    #[test]
+    fn chunk_roundtrip_zero_nnz_band() {
+        // the shape an all-empty shard band produces: rows but no entries
+        let empty = CsrMatrix::<f64>::zeros(4, 9);
+        assert_eq!(chunk_roundtrip(&empty), empty);
+        // degenerate zero-row chunk (indptr = [0])
+        let none = CsrMatrix::try_new(0, 5, vec![0], Vec::new(), Vec::<f64>::new()).unwrap();
+        assert_eq!(chunk_roundtrip(&none), none);
+    }
+
+    #[test]
+    fn chunk_roundtrip_is_bit_exact_f32_and_f64() {
+        // values chosen so any decimal round-trip would corrupt them:
+        // signed zero, subnormal, and a non-default NaN payload
+        let f64_vals = vec![
+            -0.0f64,
+            f64::from_bits(0x0000_0000_0000_0001),
+            f64::from_bits(0x7ff8_dead_beef_cafe),
+        ];
+        let m64 = CsrMatrix::try_new(1, 3, vec![0, 3], vec![0, 1, 2], f64_vals.clone()).unwrap();
+        let back64 = chunk_roundtrip(&m64);
+        for (a, b) in back64.values().iter().zip(&f64_vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let f32_vals = vec![
+            -0.0f32,
+            f32::from_bits(0x0000_0001),
+            f32::from_bits(0x7fc0_1234),
+        ];
+        let m32 =
+            CsrMatrix::try_new(3, 1, vec![0, 1, 2, 3], vec![0, 0, 0], f32_vals.clone()).unwrap();
+        let back32 = chunk_roundtrip(&m32);
+        for (a, b) in back32.values().iter().zip(&f32_vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back64.content_hash(), m64.content_hash());
+        assert_eq!(back32.content_hash(), m32.content_hash());
+    }
+
+    #[test]
+    fn chunk_rejects_dtype_mismatch() {
+        let m32 = CsrMatrix::try_new(1, 1, vec![0, 1], vec![0], vec![1.0f32]).unwrap();
+        let mut buf = Vec::new();
+        write_csr_chunk(&m32, &mut buf).unwrap();
+        let err = read_csr_chunk::<f64, _>(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, SparseError::Parse { .. }));
+    }
+
+    #[test]
+    fn chunk_rejects_bad_magic_and_truncation() {
+        let m = CsrMatrix::try_new(1, 1, vec![0, 1], vec![0], vec![1.0f64]).unwrap();
+        let mut buf = Vec::new();
+        write_csr_chunk(&m, &mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(read_csr_chunk::<f64, _>(&mut &bad[..]).is_err());
+        let truncated = &buf[..buf.len() - 3];
+        assert!(matches!(
+            read_csr_chunk::<f64, _>(&mut &truncated[..]).unwrap_err(),
+            SparseError::Io(_)
+        ));
     }
 }

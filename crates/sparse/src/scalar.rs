@@ -42,6 +42,13 @@ pub trait Scalar:
     /// bit-identity contract (content hashing, exact-equality gates).
     fn value_bits(self) -> u64;
 
+    /// Inverse of [`Scalar::value_bits`]: reconstruct the value from its
+    /// zero-extended bit pattern. Bits above the type's width are ignored,
+    /// so `from_value_bits(x.value_bits()) == x` bit-for-bit (including
+    /// NaN payloads and signed zeros) — the contract the spill format
+    /// relies on.
+    fn from_value_bits(bits: u64) -> Self;
+
     /// `|a - b| <= atol + rtol * |b|`, the standard allclose predicate.
     fn approx_eq(self, other: Self, rtol: f64, atol: f64) -> bool {
         let (a, b) = (self.to_f64(), other.to_f64());
@@ -50,7 +57,7 @@ pub trait Scalar:
 }
 
 macro_rules! impl_scalar {
-    ($t:ty) => {
+    ($t:ty, $bits:ty) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -71,12 +78,16 @@ macro_rules! impl_scalar {
             fn value_bits(self) -> u64 {
                 self.to_bits() as u64
             }
+            #[inline]
+            fn from_value_bits(bits: u64) -> Self {
+                <$t>::from_bits(bits as $bits)
+            }
         }
     };
 }
 
-impl_scalar!(f32);
-impl_scalar!(f64);
+impl_scalar!(f32, u32);
+impl_scalar!(f64, u64);
 
 #[cfg(test)]
 mod tests {
@@ -105,5 +116,22 @@ mod tests {
     fn abs_matches_std() {
         assert_eq!(Scalar::abs(-3.0f64), 3.0);
         assert_eq!(Scalar::abs(-3.0f32), 3.0);
+    }
+
+    #[test]
+    fn value_bits_roundtrip() {
+        for v in [0.0f64, -0.0, 1.5, -1.5e-300, f64::NAN, f64::INFINITY] {
+            let back = f64::from_value_bits(v.value_bits());
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        for v in [0.0f32, -0.0, 1.5, -1.5e-30, f32::NAN, f32::NEG_INFINITY] {
+            let back = f32::from_value_bits(v.value_bits());
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        // high garbage bits are ignored for f32
+        assert_eq!(
+            f32::from_value_bits(0xdead_beef_0000_0000 | 1.25f32.to_bits() as u64),
+            1.25f32
+        );
     }
 }

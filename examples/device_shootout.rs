@@ -105,11 +105,13 @@ fn main() {
     let spa = spa_perf();
     let simd = simd_perf();
     let csrmm = csrmm_perf();
+    let shard = shard_perf();
     let serve = serve_perf();
 
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_pr.json".into());
-    let json =
-        format!("{{\n{engine},\n{phase1},\n{exec},\n{spa},\n{simd},\n{csrmm},\n{serve}\n}}\n");
+    let json = format!(
+        "{{\n{engine},\n{phase1},\n{exec},\n{spa},\n{simd},\n{csrmm},\n{shard},\n{serve}\n}}\n"
+    );
     std::fs::write(&path, json).expect("write smoke-perf artifact");
     println!("wrote {path}");
 }
@@ -652,6 +654,140 @@ fn csrmm_perf() -> String {
          \"csrmm_naive_ms\": {naive_ms:.4},\n  \
          \"csrmm_tiled_ms\": {tiled_ms:.4},\n  \
          \"csrmm_speedup\": {speedup:.4}"
+    )
+}
+
+/// Time the sharded row-band driver on the scircuit clone: the monolithic
+/// engine vs an 8-way pooled shard fan-out vs sequential out-of-core
+/// shards under a byte cap that forces disk spills. Hard-fails unless
+/// every sharded product — both modes and every replication factor — is
+/// bit-identical to the monolithic run *before* anything is timed. Then
+/// sweeps the simulated 1.5D replication factor c ∈ {1, 2, 4} and fails
+/// unless total simulated link bytes fall monotonically as resident B
+/// replicas absorb the broadcast traffic (the paper-style
+/// communication/memory trade). Returns the JSON fragment for the CI
+/// artifact.
+fn shard_perf() -> String {
+    let reps = 3;
+    let shards = 8;
+    let d = Dataset::by_name("scircuit").unwrap();
+    let a = d.load::<f64>(32);
+    let config = HhCpuConfig::default();
+    let mut ctx = HeteroContext::scaled(d.effective_scale(32)).with_host_threads(8);
+
+    let mono = hh_cpu(&mut ctx, &a, &a, &config);
+    // half the product's bytes: some shards must take the disk round-trip
+    let cap = mono.c.byte_size() / 2;
+    let pooled_cfg = ShardConfig::pooled(shards);
+    let ooc_cfg = ShardConfig::out_of_core(shards, cap);
+
+    // the hard gate: both execution modes must reproduce the monolithic
+    // product to the bit, and the byte cap must actually spill
+    let pooled = hh_cpu_sharded(&mut ctx, &a, &a, &config, &pooled_cfg);
+    assert_eq!(pooled.output.c, mono.c, "pooled shards changed C");
+    assert_eq!(
+        pooled.output.tuples_merged, mono.tuples_merged,
+        "pooled shards changed tuples_merged"
+    );
+    let ooc = hh_cpu_sharded(&mut ctx, &a, &a, &config, &ooc_cfg);
+    assert_eq!(ooc.output.c, mono.c, "out-of-core shards changed C");
+    let spilled = ooc.spilled_shards;
+    assert!(spilled >= 1, "a cap of bytes(C)/2 never spilled");
+
+    let (mut mono_ms, mut pooled_ms, mut ooc_ms) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(hh_cpu(&mut ctx, &a, &a, &config));
+        mono_ms = mono_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+        let t0 = Instant::now();
+        std::hint::black_box(hh_cpu_sharded(&mut ctx, &a, &a, &config, &pooled_cfg));
+        pooled_ms = pooled_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+        let t0 = Instant::now();
+        std::hint::black_box(hh_cpu_sharded(&mut ctx, &a, &a, &config, &ooc_cfg));
+        ooc_ms = ooc_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // replication sweep over the simulated 1.5D link: same plan and C,
+    // only the communication schedule changes. c replicas of B cut the
+    // broadcast term ⌈p/c⌉·bytes(B) while growing the reduce term and the
+    // resident footprint — on this product bytes(C) ≪ p·bytes(B), so
+    // total link bytes must fall monotonically in c.
+    let cs = [1usize, 2, 4];
+    let sweep: Vec<_> = cs
+        .iter()
+        .map(|&c| {
+            let out = hh_cpu_sharded(&mut ctx, &a, &a, &config, &pooled_cfg.with_replication(c));
+            assert_eq!(out.output.c, mono.c, "replication c={c} changed C");
+            out.link
+        })
+        .collect();
+    for (lo, hi) in sweep.iter().zip(&sweep[1..]) {
+        let (a_c, b_c) = (lo.replication, hi.replication);
+        assert!(
+            hi.total_bytes() < lo.total_bytes(),
+            "link bytes not monotone: c={b_c} moves {} >= c={a_c}'s {}",
+            hi.total_bytes(),
+            lo.total_bytes()
+        );
+        assert!(
+            hi.b_shift_bytes < lo.b_shift_bytes,
+            "replication c={b_c} did not shrink the B broadcast"
+        );
+        assert!(
+            hi.resident_bytes > lo.resident_bytes,
+            "replication c={b_c} did not grow the resident footprint"
+        );
+    }
+
+    println!(
+        "\nshard-perf (scircuit/32, {shards} nnz-balanced bands, best of {reps}):\n\
+         monolithic {mono_ms:.2} ms | pooled {pooled_ms:.2} ms ({:.2}x) | \
+         out-of-core {ooc_ms:.2} ms ({spilled} spilled)",
+        mono_ms / pooled_ms,
+    );
+    for cost in &sweep {
+        println!(
+            "  c={} link: {:>7.2} MB total | B-shift {:>7.2} MB | reduce {:>6.2} MB | \
+             resident {:>7.2} MB | {:>9.0} sim-us",
+            cost.replication,
+            cost.total_bytes() as f64 / 1e6,
+            cost.b_shift_bytes as f64 / 1e6,
+            cost.c_reduce_bytes as f64 / 1e6,
+            cost.resident_bytes as f64 / 1e6,
+            cost.transfer_ns / 1e3,
+        );
+    }
+
+    let link_keys: Vec<String> = sweep
+        .iter()
+        .map(|cost| {
+            format!(
+                "  \"shard_link_total_mb_c{}\": {:.4},\n  \
+                 \"shard_link_resident_mb_c{}\": {:.4},\n  \
+                 \"shard_link_sim_us_c{}\": {:.4}",
+                cost.replication,
+                cost.total_bytes() as f64 / 1e6,
+                cost.replication,
+                cost.resident_bytes as f64 / 1e6,
+                cost.replication,
+                cost.transfer_ns / 1e3,
+            )
+        })
+        .collect();
+    format!(
+        "  \"shard_shards\": {shards},\n  \
+         \"shard_spilled\": {spilled},\n  \
+         \"shard_mono_ms\": {mono_ms:.4},\n  \
+         \"shard_pooled_ms\": {pooled_ms:.4},\n  \
+         \"shard_ooc_ms\": {ooc_ms:.4},\n  \
+         \"shard_pooled_speedup\": {:.4},\n  \
+         \"shard_ooc_speedup\": {:.4},\n  \
+         \"shard_link_monotone\": 1,\n{}",
+        ooc_ms / pooled_ms,
+        mono_ms / ooc_ms,
+        link_keys.join(",\n"),
     )
 }
 

@@ -30,6 +30,13 @@ pub struct ArtifactKey {
     pub policy: ThresholdPolicy,
     /// Platform scale ([`spmm_core::Platform::scaled`] argument).
     pub scale: usize,
+    /// Shard count the multiply executes under (1 = monolithic). The
+    /// *artifacts* are shard-invariant — the sharded driver slices one
+    /// global plan — so on a sharded miss the service aliases the
+    /// monolithic entry's `Arc` under the sharded key rather than
+    /// rebuilding; the key still carries the count so cache stats and
+    /// purges see the sharded traffic distinctly.
+    pub shards: usize,
 }
 
 /// Counters exposed by [`ArtifactCache::stats`].
@@ -184,6 +191,7 @@ mod tests {
             b,
             policy: ThresholdPolicy::default(),
             scale: 1,
+            shards: 1,
         }
     }
 

@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use spmm_core::{hh_cpu, HeteroContext, HhCpuConfig, Platform, SpmmOutput};
+use spmm_core::{hh_cpu, HeteroContext, HhCpuConfig, Platform, ShardConfig, SpmmOutput};
 
 use super::json::{self, Json};
 use super::service::{MultiplyReply, MultiplyRequest, SpmmService};
@@ -169,7 +169,17 @@ fn verify_against_cold(service: &SpmmService, replayed: &ReplayedMultiply) -> Re
         ..HhCpuConfig::default()
     };
     let mut ctx = HeteroContext::new(Platform::scaled(reply.scale));
-    let cold = hh_cpu(&mut ctx, &a, &b, &config);
+    // A sharded request is cold-verified against a cold *sharded* run:
+    // its C must still match the monolithic product bit-for-bit (the
+    // shard driver's own gate), but its profile is the documented
+    // sum-of-shards aggregate, so the apples-to-apples cold reference is
+    // the same driver.
+    let shards = replayed.request.shards.unwrap_or(1).max(1);
+    let cold = if shards > 1 {
+        spmm_core::hh_cpu_sharded(&mut ctx, &a, &b, &config, &ShardConfig::pooled(shards)).output
+    } else {
+        hh_cpu(&mut ctx, &a, &b, &config)
+    };
     diff_outputs(&reply.output, &cold)
 }
 

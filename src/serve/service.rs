@@ -26,8 +26,8 @@
 use std::sync::{Arc, Condvar, Mutex};
 
 use spmm_core::{
-    hh_cpu_with_artifacts, HeteroContext, HhCpuConfig, Platform, SpmmArtifacts, SpmmOutput,
-    ThresholdPolicy,
+    hh_cpu_sharded_with_artifacts, hh_cpu_with_artifacts, HeteroContext, HhCpuConfig, Platform,
+    ShardConfig, SpmmArtifacts, SpmmOutput, ThresholdPolicy,
 };
 use spmm_parallel::ThreadPool;
 use spmm_scalefree::{scale_free_matrix, Dataset, GeneratorConfig};
@@ -113,6 +113,11 @@ pub struct MultiplyRequest {
     pub policy: ThresholdPolicy,
     /// Platform scale; `None` ⇒ the scale `A` was registered with.
     pub scale: Option<usize>,
+    /// Row-band shard count; `None` or `Some(1)` ⇒ monolithic. Sharded
+    /// requests run the pooled shard driver against the same cached
+    /// artifacts (the plan is shard-invariant) and reply with a `C`
+    /// bit-identical to the monolithic multiply.
+    pub shards: Option<usize>,
 }
 
 impl MultiplyRequest {
@@ -123,7 +128,14 @@ impl MultiplyRequest {
             b: b.into(),
             policy: ThresholdPolicy::default(),
             scale: None,
+            shards: None,
         }
+    }
+
+    /// Same request, executed as `shards` row bands.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
     }
 }
 
@@ -468,25 +480,53 @@ impl SpmmService {
         let mut ctx =
             HeteroContext::with_shared(Platform::scaled(scale), pool, self.workspaces.clone());
 
+        let shards = request.shards.unwrap_or(1).max(1);
         let key = ArtifactKey {
             a: a_key,
             b: b_key,
             policy: request.policy,
             scale,
+            shards,
         };
         let (artifacts, warm) = match self.artifacts.get(&key) {
             Some(hit) => (hit, true),
             None => {
-                let built = Arc::new(SpmmArtifacts::build(&ctx, &*a, &*b, request.policy));
-                self.artifacts.insert(key, built.clone());
-                (built, false)
+                // Artifacts are shard-invariant (the sharded driver slices
+                // one global plan), so a sharded miss can alias another
+                // shard count's entry instead of re-running Phase I.
+                let alias = (shards != 1)
+                    .then(|| self.artifacts.get(&ArtifactKey { shards: 1, ..key }))
+                    .flatten();
+                match alias {
+                    Some(hit) => {
+                        self.artifacts.insert(key, hit.clone());
+                        (hit, true)
+                    }
+                    None => {
+                        let built = Arc::new(SpmmArtifacts::build(&ctx, &*a, &*b, request.policy));
+                        self.artifacts.insert(key, built.clone());
+                        (built, false)
+                    }
+                }
             }
         };
         let config = HhCpuConfig {
             policy: request.policy,
             ..HhCpuConfig::default()
         };
-        let output = hh_cpu_with_artifacts(&mut ctx, &a, &b, &config, &artifacts);
+        let output = if shards > 1 {
+            hh_cpu_sharded_with_artifacts(
+                &mut ctx,
+                &a,
+                &b,
+                &config,
+                &ShardConfig::pooled(shards),
+                &artifacts,
+            )
+            .output
+        } else {
+            hh_cpu_with_artifacts(&mut ctx, &a, &b, &config, &artifacts)
+        };
         Ok(MultiplyReply {
             output,
             scale,

@@ -184,6 +184,7 @@ pub fn parse_multiply(item: &Json) -> Result<MultiplyRequest, String> {
         b: b.to_string(),
         policy: parse_policy(item.get("policy"))?,
         scale: item.usize_field("scale"),
+        shards: item.usize_field("shards"),
     })
 }
 

@@ -1,0 +1,256 @@
+//! The sharded driver's bit-identity contract.
+//!
+//! `hh_cpu_sharded` cuts A into nnz-balanced row bands, runs each band ×
+//! full B through the unmodified engine against artifacts sliced from one
+//! global Phase I, and stitches the outputs by indptr offset fix-up. The
+//! contract (DESIGN.md §3.7):
+//!
+//! * **C is bit-identical to the monolithic run** — same matrix, same
+//!   content hash — for every shard count × execution mode × host thread
+//!   count, on the self-product and the cross product, for all 12 Table-I
+//!   clones.
+//! * `tuples_merged` equals the monolithic count (per-row accumulator
+//!   insertions depend only on the row and the global masks).
+//! * The aggregate profile is the field-wise **sum of the per-shard
+//!   profiles**, and the per-shard profiles are mode- and
+//!   thread-count-invariant for a fixed plan (the simulation is
+//!   deterministic and host-pool-independent).
+//! * With one shard and `A ≠ B`, the band run *is* the monolithic run, so
+//!   even the simulated profile matches to the bit.
+//!
+//! `SPMM_SHARD_BYTE_CAP` (bytes) pins the out-of-core spill cap; the CI
+//! shard-smoke job sets it to `1` so every shard takes the disk
+//! round-trip. Unset, the cap defaults to half the product's CSR bytes,
+//! which still forces spills on every clone.
+
+use hetero_spmm::core::{
+    hh_cpu_sharded_with_artifacts, shard::sum_profiles, SpmmArtifacts, ThresholdPolicy,
+};
+use hetero_spmm::prelude::*;
+use hetero_spmm::serve::{MultiplyRequest, ServiceConfig, SpmmService};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Spill cap for the out-of-core legs: the env override (CI smoke sets 1)
+/// or half the finished product's bytes, so some shards spill either way.
+fn byte_cap(c: &CsrMatrix<f64>) -> usize {
+    match std::env::var("SPMM_SHARD_BYTE_CAP") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .expect("SPMM_SHARD_BYTE_CAP must be a byte count"),
+        Err(_) => c.byte_size() / 2,
+    }
+}
+
+/// Deterministic A≠B partner: same shape and nnz budget as the clone,
+/// different tail exponent and seed.
+fn partner(a: &CsrMatrix<f64>, seed: u64) -> CsrMatrix<f64> {
+    scale_free_matrix::<f64>(&GeneratorConfig::square_power_law(
+        a.nrows(),
+        a.nnz().max(64),
+        2.3,
+        seed ^ 0x5bd1_e995,
+    ))
+}
+
+/// Run the full acceptance matrix for one Table-I clone: shard counts
+/// {1,2,3,8} × pooled/out-of-core × host threads {1,2,8} × A=B / A≠B.
+fn exercise_clone(name: &str) {
+    let dataset = Dataset::by_name(name).expect("catalog name");
+    // ~1024-row clone: the bit-identity contract is scale-free, and this
+    // suite runs 96 sharded multiplies per clone in debug tier-1
+    let a = dataset.generate::<f64>((dataset.entry().rows / 1024).max(1));
+    let b = partner(&a, a.nrows() as u64);
+    let config = HhCpuConfig::default();
+
+    for (label, rhs) in [("self", &a), ("cross", &b)] {
+        let mut ctx = HeteroContext::paper().with_host_threads(2);
+        let mono = hh_cpu(&mut ctx, &a, rhs, &config);
+        let artifacts = SpmmArtifacts::build(&ctx, &a, rhs, ThresholdPolicy::default());
+        let cap = byte_cap(&mono.c);
+
+        for shards in SHARD_COUNTS {
+            // per-shard profiles must agree across every mode × thread
+            // combination of this shard count
+            let mut shard_profiles: Option<Vec<PhaseBreakdown>> = None;
+            for threads in THREAD_COUNTS {
+                for mode in [ShardMode::Pooled, ShardMode::OutOfCore { byte_cap: cap }] {
+                    let what = format!("{name} {label} shards={shards} threads={threads} {mode:?}");
+                    let mut ctx = HeteroContext::paper().with_host_threads(threads);
+                    let shard_config = ShardConfig {
+                        shards,
+                        mode,
+                        replication: 1,
+                    };
+                    let out = hh_cpu_sharded_with_artifacts(
+                        &mut ctx,
+                        &a,
+                        rhs,
+                        &config,
+                        &shard_config,
+                        &artifacts,
+                    );
+                    assert_eq!(
+                        out.output.c.content_hash(),
+                        mono.c.content_hash(),
+                        "{what}: content hash drifted"
+                    );
+                    assert_eq!(out.output.c, mono.c, "{what}: C is not bit-identical");
+                    assert_eq!(
+                        out.output.tuples_merged, mono.tuples_merged,
+                        "{what}: merge counter drifted"
+                    );
+                    assert_eq!(
+                        (out.output.threshold_a, out.output.threshold_b),
+                        (mono.threshold_a, mono.threshold_b),
+                        "{what}: thresholds drifted"
+                    );
+                    assert_eq!(
+                        (out.output.hd_rows_a, out.output.hd_rows_b),
+                        (mono.hd_rows_a, mono.hd_rows_b),
+                        "{what}: H/L classification drifted"
+                    );
+                    assert_eq!(out.per_shard.len(), out.plan.shards(), "{what}");
+                    assert_eq!(
+                        out.output.profile,
+                        sum_profiles(&out.per_shard),
+                        "{what}: aggregate profile is not the per-shard sum"
+                    );
+                    match &shard_profiles {
+                        None => shard_profiles = Some(out.per_shard.clone()),
+                        Some(want) => assert_eq!(
+                            &out.per_shard, want,
+                            "{what}: per-shard profiles not mode/thread invariant"
+                        ),
+                    }
+                    if let ShardMode::OutOfCore { .. } = mode {
+                        if cap < mono.c.byte_size() {
+                            assert!(out.spilled_shards >= 1, "{what}: cap never spilled");
+                        }
+                    } else {
+                        assert_eq!(out.spilled_shards, 0, "{what}: pooled mode spilled");
+                    }
+                    // one band over A ≠ B is exactly the monolithic run
+                    if shards == 1 && label == "cross" {
+                        assert_eq!(
+                            out.output.profile, mono.profile,
+                            "{what}: single-band cross profile must equal monolithic"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+macro_rules! clone_tests {
+    ($($fn_name:ident => $name:expr,)*) => {
+        $(
+            #[test]
+            fn $fn_name() {
+                exercise_clone($name);
+            }
+        )*
+    };
+}
+
+clone_tests! {
+    shard_equivalence_scircuit => "scircuit",
+    shard_equivalence_webbase_1m => "webbase-1M",
+    shard_equivalence_cop20ka => "cop20kA",
+    shard_equivalence_web_google => "web-Google",
+    shard_equivalence_p2p_gnutella31 => "p2p-Gnutella31",
+    shard_equivalence_ca_condmat => "ca-CondMat",
+    shard_equivalence_roadnet_ca => "roadNet-CA",
+    shard_equivalence_internet => "internet",
+    shard_equivalence_dblp2010 => "dblp2010",
+    shard_equivalence_email_enron => "email-Enron",
+    shard_equivalence_wiki_vote => "wiki-Vote",
+    shard_equivalence_cit_patents => "cit-Patents",
+}
+
+/// The serve layer's sharded path: same registered operands, monolithic
+/// and sharded multiplies, bit-identical `C`; the sharded request's
+/// artifact-cache miss aliases the monolithic entry (warm, no Phase I
+/// rerun).
+#[test]
+fn serve_sharded_matches_monolithic() {
+    let service = SpmmService::new(ServiceConfig {
+        host_threads: Some(2),
+        ..ServiceConfig::default()
+    });
+    service.load_dataset("scircuit", 32).unwrap();
+    let mono = service
+        .multiply(&MultiplyRequest::new("scircuit", "scircuit"))
+        .unwrap();
+    assert!(!mono.warm);
+    for shards in [2, 4] {
+        let sharded = service
+            .multiply(&MultiplyRequest::new("scircuit", "scircuit").with_shards(shards))
+            .unwrap();
+        assert_eq!(sharded.output.c, mono.output.c, "shards={shards}");
+        assert_eq!(sharded.output.tuples_merged, mono.output.tuples_merged);
+        assert!(
+            sharded.warm,
+            "sharded key should alias the warm monolithic artifacts"
+        );
+    }
+    // shards=1 and None are the same key: the second is a plain warm hit
+    let one = service
+        .multiply(&MultiplyRequest::new("scircuit", "scircuit").with_shards(1))
+        .unwrap();
+    assert!(one.warm);
+    assert_eq!(one.output.c, mono.output.c);
+    assert_eq!(one.output.profile, mono.output.profile);
+}
+
+/// Full-size (`SPMM_SCALE=1`) generator specs, runnable only under the
+/// out-of-core driver with a memory cap. Ignored in default tier-1 — the
+/// webbase-1M clone alone is ~1M rows / ~3.1M nnz and the product is far
+/// bigger. Run explicitly:
+/// `cargo test --release --test shard_equivalence -- --ignored`
+fn full_scale_out_of_core(name: &str, shards: usize) {
+    let dataset = Dataset::by_name(name).expect("catalog name");
+    let a = dataset.generate::<f64>(1); // SPMM_SCALE=1: published size
+    assert_eq!(a.nrows(), dataset.entry().rows, "not the full-size clone");
+    let config = HhCpuConfig::default();
+    let mut ctx = HeteroContext::paper();
+    // cap residency at one replica of B: with the self-product's C far
+    // larger than B, most shards must take the disk round-trip
+    let shard_config = ShardConfig::out_of_core(shards, a.byte_size());
+    let out = hh_cpu_sharded(&mut ctx, &a, &a, &config, &shard_config);
+    assert_eq!(out.plan.shards(), shards);
+    assert!(
+        out.spilled_shards >= 1,
+        "a byte cap of bytes(B) must spill on the full-size product"
+    );
+    assert_eq!(out.output.c.nrows(), a.nrows());
+    assert!(out.output.c.nnz() > a.nnz(), "product lost structure");
+
+    // Spot-check stitched bands against the serial Gustavson reference
+    // (tolerance comparison — the engine's summation order differs).
+    let n = a.nrows();
+    for start in [0usize, n / 2, n - 512] {
+        let rows = start..(start + 512).min(n);
+        let got = out.output.c.row_band(rows.clone());
+        let want = reference::spmm_rowrow(&a.row_band(rows.clone()), &a).unwrap();
+        assert!(
+            got.approx_eq(&want, 1e-9, 1e-12),
+            "{name}: rows {rows:?} drifted from the reference"
+        );
+    }
+}
+
+#[test]
+#[ignore = "full-size webbase-1M out-of-core run (minutes, release only)"]
+fn full_scale_webbase_1m_out_of_core() {
+    full_scale_out_of_core("webbase-1M", 16);
+}
+
+#[test]
+#[ignore = "full-size cit-Patents out-of-core run (minutes, release only)"]
+fn full_scale_cit_patents_out_of_core() {
+    full_scale_out_of_core("cit-Patents", 32);
+}
