@@ -28,12 +28,15 @@
 //!   `Vec<Triplet>` per partial product for the global Phase IV sort. Kept
 //!   as a reference and for the wall-clock comparison in the benches.
 
+use std::sync::Mutex;
+
 use spmm_parallel::{DisjointSlice, ThreadPool};
-use spmm_sparse::binning::stats as bin_stats;
+use spmm_sparse::binning::{fused, stats as bin_stats};
 use spmm_sparse::coo::Triplet;
 use spmm_sparse::{
-    chunk_for, simd, AccumStrategy, BinThresholds, ColIndex, CsrMatrix, EngineWorkspace,
-    RowAccumulator, RowBin, RowBins, Scalar, SparseAccumulator, WorkspacePool, GUIDED_CHUNK,
+    chunk_for, fused_chunk_for, simd, upper_bound, AccumStrategy, BinThresholds, ColIndex,
+    CsrMatrix, EngineWorkspace, PooledWorkspace, RowAccumulator, RowBin, RowBins, Scalar,
+    SparseAccumulator, StagingBuffer, WorkspacePool, FUSED_UB_MAX, GUIDED_CHUNK,
     TINY_PRODUCT_FLOPS,
 };
 
@@ -278,10 +281,10 @@ fn row_products_adaptive<T: Scalar>(
     let ncols = b.ncols();
     let thresholds = BinThresholds::for_ncols(b.ncols());
 
-    // Pass 0: masked source stats per requested row — a FLOP upper bound
-    // (sum of masked B-row sizes, exact when no column collides) and the
-    // masked source count saturated at 2 ("exactly one" is the only
-    // distinction that matters).
+    // Pass 0: masked source stats per requested row — the structural
+    // upper bound (sum of masked B-row sizes, exact when no column
+    // collides) and the masked source count saturated at 2 ("exactly one"
+    // is the only distinction that matters).
     let mut flops = vec![0u64; rows.len()];
     let mut nsrc = vec![0u8; rows.len()];
     {
@@ -289,21 +292,10 @@ fn row_products_adaptive<T: Scalar>(
         let out_n = DisjointSlice::new(&mut nsrc);
         pool.for_each_guided(rows.len(), 8 * GUIDED_CHUNK, |range| {
             for k in range {
-                let (acols, _) = a.row(rows[k]);
-                let mut f = 0u64;
-                let mut n = 0u8;
-                for &j in acols {
-                    if let Some(mask) = b_mask {
-                        if !mask[j as usize] {
-                            continue;
-                        }
-                    }
-                    f += b.row_nnz(j as usize) as u64;
-                    n = n.saturating_add(1);
-                }
+                let bound = upper_bound::row_bound(a, b, rows[k], b_mask);
                 unsafe {
-                    out_f.write(k, f);
-                    out_n.write(k, n);
+                    out_f.write(k, bound.ub);
+                    out_n.write(k, bound.nsrc);
                 }
             }
         });
@@ -313,6 +305,23 @@ fn row_products_adaptive<T: Scalar>(
     // single dense pass instead (same bits, fewer parallel loops).
     if flops.iter().sum::<u64>() < TINY_PRODUCT_FLOPS {
         return row_products_fixed(a, b, rows, b_mask, pool, workspaces);
+    }
+
+    // The fused single-pass tier: rows whose bound fits the staging budget
+    // skip the symbolic pass entirely. `SPMM_FUSED=off` pins the retained
+    // two-pass oracle below.
+    if fused::enabled() {
+        return row_products_adaptive_fused(
+            a,
+            b,
+            rows,
+            b_mask,
+            pool,
+            workspaces,
+            &thresholds,
+            flops,
+            nsrc,
+        );
     }
 
     // Pass 1 (symbolic), binned by the FLOP bound (the exact nnz is not
@@ -401,42 +410,17 @@ fn row_products_adaptive<T: Scalar>(
         let out_idx = DisjointSlice::new(&mut indices);
         let out_val = DisjointSlice::new(&mut values);
 
-        // Copy bin: the output row is `a_ij × B[j, :]` verbatim — each
-        // column is touched exactly once and B columns already ascend, so
-        // the copy is bit-identical to any accumulator run and needs no
-        // accumulator state at all. SoA form: one memcpy of B's columns
-        // plus one vectorized scaled copy of its values per source row.
-        if !num_bins.copy.is_empty() {
-            let t0 = bin_pass_start();
-            pool.for_each_guided_items(
-                &num_bins.copy,
-                chunk_for(RowBin::Copy),
-                || (),
-                |(), ks| {
-                    for &k in ks {
-                        let k = k as usize;
-                        let (acols, avals) = a.row(rows[k]);
-                        let mut at = indptr[k];
-                        for (&j, &aij) in acols.iter().zip(avals) {
-                            if let Some(mask) = b_mask {
-                                if !mask[j as usize] {
-                                    continue;
-                                }
-                            }
-                            let (bcols, bvals) = b.row(j as usize);
-                            // rows own disjoint indptr ranges
-                            unsafe {
-                                out_idx.write_slice(at, bcols);
-                                simd::scaled_copy(aij, bvals, out_val.slice_mut(at, bvals.len()));
-                            }
-                            at += bcols.len();
-                        }
-                        debug_assert_eq!(at, indptr[k + 1]);
-                    }
-                },
-            );
-            bin_pass_record(RowBin::Copy, &num_bins.copy, &indptr, t0);
-        }
+        copy_bin(
+            a,
+            b,
+            rows,
+            b_mask,
+            pool,
+            &num_bins.copy,
+            &indptr,
+            &out_idx,
+            &out_val,
+        );
 
         numeric_bin(
             a,
@@ -486,6 +470,358 @@ fn row_products_adaptive<T: Scalar>(
     }
 
     pack_block(rows, indptr, indices, values)
+}
+
+/// The fused single-pass engine (Liu & Vinter's upper-bound binning,
+/// specialised to our bit-identical contract). Rows route three ways off
+/// the Pass-0 structural bound:
+///
+/// * **copy** (`nsrc ≤ 1`): the bound *is* the exact size — no symbolic
+///   work, no accumulator, same verbatim scaled copy as the two-pass path.
+/// * **fused** (`nsrc ≥ 2`, `ub ≤ FUSED_UB_MAX`): scatter once through the
+///   accumulator the bound selects, drain into an exact-size staging
+///   carve-out, and record the now-exact size. The symbolic pass for these
+///   rows never runs; a compaction memcpy stitches each staged run into
+///   its final slot once the exclusive scan has fixed the offsets
+///   (the same offset fix-up discipline as `shard::concat_row_bands`).
+/// * **heavy** (`ub > FUSED_UB_MAX`): the bound is loose on hub rows with
+///   many colliding sources, so they keep the exact two-pass treatment —
+///   dense symbolic sizer, then numeric re-binned by exact nnz.
+///
+/// Bit-identity with the two-pass oracle holds by construction: every row
+/// is still produced by [`scatter_row`]'s accumulation order and an
+/// ascending drain (all accumulator variants share the dense SPA's
+/// observable semantics), staged runs are copied verbatim, and the scan
+/// runs over integer sizes that are exact in every bin.
+#[allow(clippy::too_many_arguments)]
+fn row_products_adaptive_fused<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: &[usize],
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+    thresholds: &BinThresholds,
+    ub: Vec<u64>,
+    nsrc: Vec<u8>,
+) -> RowBlock<T> {
+    let ncols = b.ncols();
+
+    let mut sizes = vec![0u64; rows.len()];
+    let mut copy: Vec<u32> = Vec::new();
+    let mut fused_bins = RowBins::default();
+    let mut heavy: Vec<u32> = Vec::new();
+    for k in 0..rows.len() {
+        if nsrc[k] <= 1 {
+            sizes[k] = ub[k];
+            copy.push(k as u32);
+        } else if ub[k] <= FUSED_UB_MAX {
+            match thresholds.classify(ub[k] as usize, 2) {
+                RowBin::List => fused_bins.list.push(k as u32),
+                RowBin::Hash => fused_bins.hash.push(k as u32),
+                _ => fused_bins.dense.push(k as u32),
+            }
+        } else {
+            heavy.push(k as u32);
+        }
+    }
+
+    // Fused passes: one scatter/drain per bounded row, staged. Buffers
+    // that received rows are captured for compaction; empty ones return to
+    // the pool straight from the worker's drop.
+    let staged: Mutex<Vec<StagingBuffer<T>>> = Mutex::new(Vec::new());
+    #[rustfmt::skip]
+    {
+        fused_bin(a, b, rows, b_mask, pool, workspaces, ncols, &fused_bins.list,
+            RowBin::List, &ub, &mut sizes, &staged, sel_list);
+        fused_bin(a, b, rows, b_mask, pool, workspaces, ncols, &fused_bins.hash,
+            RowBin::Hash, &ub, &mut sizes, &staged, sel_hash);
+        fused_bin(a, b, rows, b_mask, pool, workspaces, ncols, &fused_bins.dense,
+            RowBin::Dense, &ub, &mut sizes, &staged, sel_spa);
+    };
+
+    // Exact symbolic sizing survives only for the heavy tail.
+    if !heavy.is_empty() {
+        let out = DisjointSlice::new(&mut sizes);
+        pool.for_each_guided_items(
+            &heavy,
+            chunk_for(RowBin::Dense),
+            || workspaces.acquire_sizer(ncols),
+            |sizer, ks| {
+                for &k in ks {
+                    let k = k as usize;
+                    mark_row(a, b, rows[k], b_mask, sizer);
+                    // each k written by exactly one claimant
+                    unsafe { out.write(k, sizer.finish_row() as u64) };
+                }
+            },
+        );
+    }
+
+    let (indptr, total) = offsets_from_sizes(sizes, pool);
+
+    let mut indices = vec![0 as ColIndex; total];
+    let mut values = vec![T::ZERO; total];
+    {
+        let out_idx = DisjointSlice::new(&mut indices);
+        let out_val = DisjointSlice::new(&mut values);
+
+        copy_bin(a, b, rows, b_mask, pool, &copy, &indptr, &out_idx, &out_val);
+
+        // Heavy rows re-bin by their now-exact nnz — a hub's bound can be
+        // arbitrarily loose, so its exact size may land it anywhere.
+        let mut heavy_bins = RowBins::default();
+        for &k in &heavy {
+            let k = k as usize;
+            match thresholds.classify(indptr[k + 1] - indptr[k], 2) {
+                RowBin::List => heavy_bins.list.push(k as u32),
+                RowBin::Hash => heavy_bins.hash.push(k as u32),
+                _ => heavy_bins.dense.push(k as u32),
+            }
+        }
+        numeric_bin(
+            a,
+            b,
+            rows,
+            b_mask,
+            pool,
+            workspaces,
+            ncols,
+            &heavy_bins.list,
+            RowBin::List,
+            &indptr,
+            &out_idx,
+            &out_val,
+            sel_list,
+        );
+        numeric_bin(
+            a,
+            b,
+            rows,
+            b_mask,
+            pool,
+            workspaces,
+            ncols,
+            &heavy_bins.hash,
+            RowBin::Hash,
+            &indptr,
+            &out_idx,
+            &out_val,
+            sel_hash,
+        );
+        numeric_bin(
+            a,
+            b,
+            rows,
+            b_mask,
+            pool,
+            workspaces,
+            ncols,
+            &heavy_bins.dense,
+            RowBin::Dense,
+            &indptr,
+            &out_idx,
+            &out_val,
+            sel_spa,
+        );
+
+        compact_staged(
+            pool,
+            staged.into_inner().unwrap(),
+            workspaces,
+            &indptr,
+            &out_idx,
+            &out_val,
+        );
+    }
+
+    pack_block(rows, indptr, indices, values)
+}
+
+/// Per-worker scratch for one fused bin pass: a pooled workspace (the
+/// accumulators) plus an owned staging arena. On worker exit the arena
+/// either returns to the pool (nothing staged) or is captured into the
+/// pass's sink so the compaction stage can read it — staged data must
+/// outlive the worker that produced it.
+pub(crate) struct FusedStager<'p, T: Scalar> {
+    pub(crate) ws: PooledWorkspace<'p, T>,
+    pool: &'p WorkspacePool,
+    pub(crate) buf: Option<StagingBuffer<T>>,
+    sink: &'p Mutex<Vec<StagingBuffer<T>>>,
+}
+
+impl<'p, T: Scalar> FusedStager<'p, T> {
+    pub(crate) fn new(
+        pool: &'p WorkspacePool,
+        ncols: usize,
+        sink: &'p Mutex<Vec<StagingBuffer<T>>>,
+    ) -> Self {
+        Self {
+            ws: pool.acquire::<T>(ncols),
+            pool,
+            buf: Some(pool.take_staging()),
+            sink,
+        }
+    }
+}
+
+impl<T: Scalar> Drop for FusedStager<'_, T> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            if buf.is_empty() {
+                self.pool.release_staging(buf);
+            } else {
+                self.sink.lock().unwrap().push(buf);
+            }
+        }
+    }
+}
+
+/// One fused bin: scatter every row through the accumulator `sel` chooses
+/// (sized by the row's *bound* — an over-estimate never aliases, it only
+/// rounds a table up), drain it once into the worker's staging arena, and
+/// record the now-exact size for the scan.
+#[allow(clippy::too_many_arguments)]
+fn fused_bin<T, A, Sel>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: &[usize],
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+    workspaces: &WorkspacePool,
+    ncols: usize,
+    bin_rows: &[u32],
+    bin: RowBin,
+    ub: &[u64],
+    sizes: &mut [u64],
+    staged: &Mutex<Vec<StagingBuffer<T>>>,
+    sel: Sel,
+) where
+    T: Scalar,
+    A: RowAccumulator<T>,
+    Sel: for<'w> Fn(&'w mut EngineWorkspace<T>, usize) -> &'w mut A + Sync,
+{
+    if bin_rows.is_empty() {
+        return;
+    }
+    let t0 = bin_pass_start();
+    {
+        let out = DisjointSlice::new(sizes);
+        pool.for_each_guided_items(
+            bin_rows,
+            fused_chunk_for(bin),
+            || FusedStager::new(workspaces, ncols, staged),
+            |stager, ks| {
+                // disjoint field borrows: the accumulator lives in `ws`,
+                // the staging arena next to it
+                let buf = stager.buf.as_mut().expect("present until drop");
+                for &k in ks {
+                    let k = k as usize;
+                    let acc = sel(&mut stager.ws, ub[k] as usize);
+                    scatter_row(a, b, rows[k], b_mask, acc);
+                    let n = buf.stage(k as u32, acc);
+                    // each k written by exactly one claimant
+                    unsafe { out.write(k, n as u64) };
+                }
+            },
+        );
+    }
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        let entries: u64 = bin_rows.iter().map(|&k| sizes[k as usize]).sum();
+        bin_stats::record(bin, bin_rows.len() as u64, entries, ns);
+    }
+}
+
+/// Compaction: memcpy every staged run into its final pre-offset slot and
+/// return the drained arenas to the pool. Run lengths come off the final
+/// indptr (the staged exact sizes fed the scan), so the copy is a pure
+/// offset fix-up — the same discipline `shard::concat_row_bands` uses to
+/// stitch row bands.
+pub(crate) fn compact_staged<T: Scalar>(
+    pool: &ThreadPool,
+    staged: Vec<StagingBuffer<T>>,
+    workspaces: &WorkspacePool,
+    indptr: &[usize],
+    out_idx: &DisjointSlice<'_, ColIndex>,
+    out_val: &DisjointSlice<'_, T>,
+) {
+    for arena in &staged {
+        pool.for_each_guided_items(
+            &arena.rows,
+            chunk_for(RowBin::Copy),
+            || (),
+            |(), items| {
+                for &(key, start) in items {
+                    let k = key as usize;
+                    let at = indptr[k];
+                    let n = indptr[k + 1] - at;
+                    // rows own disjoint indptr ranges
+                    unsafe {
+                        out_idx.write_slice(at, &arena.cols[start..start + n]);
+                        out_val
+                            .slice_mut(at, n)
+                            .copy_from_slice(&arena.vals[start..start + n]);
+                    }
+                }
+            },
+        );
+    }
+    for arena in staged {
+        workspaces.release_staging(arena);
+    }
+}
+
+/// The copy bin, shared by the two-pass and fused engines: the output row
+/// is `a_ij × B[j, :]` verbatim — each column is touched exactly once and
+/// B columns already ascend, so the copy is bit-identical to any
+/// accumulator run and needs no accumulator state at all. SoA form: one
+/// memcpy of B's columns plus one vectorized scaled copy of its values per
+/// source row.
+#[allow(clippy::too_many_arguments)]
+fn copy_bin<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: &[usize],
+    b_mask: Option<&[bool]>,
+    pool: &ThreadPool,
+    bin_rows: &[u32],
+    indptr: &[usize],
+    out_idx: &DisjointSlice<'_, ColIndex>,
+    out_val: &DisjointSlice<'_, T>,
+) {
+    if bin_rows.is_empty() {
+        return;
+    }
+    let t0 = bin_pass_start();
+    pool.for_each_guided_items(
+        bin_rows,
+        chunk_for(RowBin::Copy),
+        || (),
+        |(), ks| {
+            for &k in ks {
+                let k = k as usize;
+                let (acols, avals) = a.row(rows[k]);
+                let mut at = indptr[k];
+                for (&j, &aij) in acols.iter().zip(avals) {
+                    if let Some(mask) = b_mask {
+                        if !mask[j as usize] {
+                            continue;
+                        }
+                    }
+                    let (bcols, bvals) = b.row(j as usize);
+                    // rows own disjoint indptr ranges
+                    unsafe {
+                        out_idx.write_slice(at, bcols);
+                        simd::scaled_copy(aij, bvals, out_val.slice_mut(at, bvals.len()));
+                    }
+                    at += bcols.len();
+                }
+                debug_assert_eq!(at, indptr[k + 1]);
+            }
+        },
+    );
+    bin_pass_record(RowBin::Copy, bin_rows, indptr, t0);
 }
 
 /// Accumulator selectors for [`numeric_bin`] — free functions rather than

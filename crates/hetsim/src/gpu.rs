@@ -417,6 +417,14 @@ pub fn masked_output_widths_for_pooled<T: Scalar>(
     widths_impl(a, b, b_mask, Some(rows), pool, workspaces)
 }
 
+/// Rows whose structural upper bound (Σ masked `|B(k,:)|`) is at or under
+/// this count their distinct columns through a sorted-insertion scratch
+/// list instead of the O(ncols) stamp sizer: for a handful of entries the
+/// list stays in one or two cache lines, while every `mark` is a random
+/// probe into a stamp array as wide as the output. Pure routing — both
+/// paths count the same set, so the table is bit-identical either way.
+const TINY_WIDTH_UB: u64 = 32;
+
 fn widths_impl<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
@@ -431,14 +439,23 @@ fn widths_impl<T: Scalar>(
     pool.for_each_guided_with(
         len,
         64,
-        || workspaces.acquire_sizer(b.ncols()),
-        |sizer, range| {
+        || (workspaces.acquire_sizer(b.ncols()), Vec::<u32>::new()),
+        |(sizer, tiny), range| {
             for k in range {
                 let i = rows.map_or(k, |r| r[k]);
                 let (acols, _) = a.row(i);
                 if acols.is_empty() {
                     continue;
                 }
+                // Bounds sweep first (upper_bound's estimator, inlined to
+                // also keep the sole source's index): a single masked
+                // source makes the bound *exact* — the width is that B
+                // row's size, no marking at all — and a tiny bound routes
+                // to the scratch list. Only loose-bounded rows pay the
+                // stamp sizer.
+                let mut ub = 0u64;
+                let mut nsrc = 0u32;
+                let mut only = 0usize;
                 for &j in acols {
                     let j = j as usize;
                     if let Some(mask) = b_mask {
@@ -446,12 +463,47 @@ fn widths_impl<T: Scalar>(
                             continue;
                         }
                     }
-                    for &c in b.row(j).0 {
-                        sizer.mark(c);
-                    }
+                    ub = ub.saturating_add(b.row_nnz(j) as u64);
+                    nsrc += 1;
+                    only = j;
                 }
+                let width = if nsrc == 0 {
+                    continue; // all sources masked off: width stays 0
+                } else if nsrc == 1 {
+                    b.row_nnz(only) as u32
+                } else if ub <= TINY_WIDTH_UB {
+                    tiny.clear();
+                    for &j in acols {
+                        let j = j as usize;
+                        if let Some(mask) = b_mask {
+                            if !mask[j] {
+                                continue;
+                            }
+                        }
+                        for &c in b.row(j).0 {
+                            let pos = tiny.partition_point(|&t| t < c);
+                            if tiny.get(pos) != Some(&c) {
+                                tiny.insert(pos, c);
+                            }
+                        }
+                    }
+                    tiny.len() as u32
+                } else {
+                    for &j in acols {
+                        let j = j as usize;
+                        if let Some(mask) = b_mask {
+                            if !mask[j] {
+                                continue;
+                            }
+                        }
+                        for &c in b.row(j).0 {
+                            sizer.mark(c);
+                        }
+                    }
+                    sizer.finish_row() as u32
+                };
                 // each row written by at most one claimant (rows unique)
-                unsafe { out.write(i, sizer.finish_row() as u32) };
+                unsafe { out.write(i, width) };
             }
         },
     );

@@ -33,6 +33,61 @@ pub const GUIDED_CHUNK: usize = 16;
 /// wall clock changes.
 pub const TINY_PRODUCT_FLOPS: u64 = 32 * 1024;
 
+/// Per-thread staging budget for the fused single-pass tier, in potential
+/// output entries (the [`crate::upper_bound`] bound, not exact nnz). Rows
+/// at or under the budget skip the symbolic pass: they scatter once into a
+/// bound-sized accumulator and drain into an exact-size staging carve-out
+/// (≤ `FUSED_UB_MAX × (4 + 8)` bytes per row for f64 — comfortably inside
+/// L2 next to the accumulator itself). Rows above it keep the exact
+/// two-pass treatment: for hub rows the bound is loose (many colliding
+/// sources), and staging a multi-MB over-allocation per row would evict
+/// the very caches the accumulators are tuned for.
+pub const FUSED_UB_MAX: u64 = 4096;
+
+/// Runtime switch for the fused single-pass tier, mirroring the
+/// `SPMM_SIMD` dispatch idiom: `SPMM_FUSED=off|0|false` pins the engines
+/// to the retained two-pass oracle (the CI `fused-off` leg), anything else
+/// leaves the fused tier on. [`fused::set_forced`] is the in-process test
+/// hook the equivalence suites flip to compare both paths bit for bit.
+pub mod fused {
+    use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+    use std::sync::OnceLock;
+
+    /// 0 = follow the environment, 1 = forced off, 2 = forced on.
+    static FORCED: AtomicU8 = AtomicU8::new(0);
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+
+    fn env_enabled() -> bool {
+        !matches!(
+            std::env::var("SPMM_FUSED").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        )
+    }
+
+    /// Should the engines route bounded rows through the fused tier?
+    #[inline]
+    pub fn enabled() -> bool {
+        match FORCED.load(Relaxed) {
+            1 => false,
+            2 => true,
+            _ => *FROM_ENV.get_or_init(env_enabled),
+        }
+    }
+
+    /// Test hook: pin the tier on/off (`Some`) or restore the environment
+    /// default (`None`). Process-global — serialize tests that flip it.
+    pub fn set_forced(on: Option<bool>) {
+        FORCED.store(
+            match on {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            },
+            Relaxed,
+        );
+    }
+}
+
 /// Which accumulator strategy the numeric engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AccumStrategy {
@@ -124,6 +179,20 @@ pub fn chunk_for(bin: RowBin) -> usize {
         RowBin::List => 8 * GUIDED_CHUNK,
         RowBin::Hash => 2 * GUIDED_CHUNK,
         RowBin::Dense => GUIDED_CHUNK / 4,
+    }
+}
+
+/// Guided chunk size for a *fused* bin, where rows were routed by their
+/// upper bound rather than exact nnz. [`chunk_for`]'s hub tuning does not
+/// apply: every fused row is bounded by [`FUSED_UB_MAX`], so even the
+/// dense-SPA fused bin holds moderate rows, and the hub-sized chunk of
+/// `GUIDED_CHUNK / 4` rows per claim would drown them in claim traffic
+/// (the webbase-1M fused regression in BENCH was exactly this).
+#[inline]
+pub fn fused_chunk_for(bin: RowBin) -> usize {
+    match bin {
+        RowBin::Dense => 2 * GUIDED_CHUNK,
+        other => chunk_for(other),
     }
 }
 
@@ -297,6 +366,20 @@ mod tests {
         assert!(chunk_for(RowBin::List) > chunk_for(RowBin::Hash));
         assert!(chunk_for(RowBin::Hash) > chunk_for(RowBin::Dense));
         assert!(chunk_for(RowBin::Dense) >= 1);
+    }
+
+    #[test]
+    fn fused_forcing_overrides_the_environment() {
+        fused::set_forced(Some(false));
+        assert!(!fused::enabled());
+        fused::set_forced(Some(true));
+        assert!(fused::enabled());
+        fused::set_forced(None);
+        let env_default = fused::enabled();
+        // unset/garbage SPMM_FUSED means on; only off/0/false disable
+        if std::env::var("SPMM_FUSED").is_err() {
+            assert!(env_default);
+        }
     }
 
     #[test]

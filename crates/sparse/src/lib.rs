@@ -33,13 +33,15 @@ pub mod ops;
 pub mod reference;
 pub mod scalar;
 pub mod simd;
+pub mod upper_bound;
 pub mod workspace;
 
 pub use accumulator::{
     HashAccumulator, ListAccumulator, RowAccumulator, RowSizer, SparseAccumulator,
 };
 pub use binning::{
-    chunk_for, AccumStrategy, BinThresholds, RowBin, RowBins, GUIDED_CHUNK, TINY_PRODUCT_FLOPS,
+    chunk_for, fused_chunk_for, AccumStrategy, BinThresholds, RowBin, RowBins, FUSED_UB_MAX,
+    GUIDED_CHUNK, TINY_PRODUCT_FLOPS,
 };
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
@@ -50,7 +52,8 @@ pub use error::SparseError;
 pub use histogram::RowHistogram;
 pub use scalar::Scalar;
 pub use simd::SimdLevel;
-pub use workspace::{EngineWorkspace, PooledSizer, PooledWorkspace, WorkspacePool};
+pub use upper_bound::RowBound;
+pub use workspace::{EngineWorkspace, PooledSizer, PooledWorkspace, StagingBuffer, WorkspacePool};
 
 /// Index type used for column indices. `u32` halves the memory traffic of the
 /// kernels relative to `usize`; all matrices in the paper's dataset fit

@@ -1,0 +1,246 @@
+//! Upper-bound row-size estimation for the fused single-pass numeric tier.
+//!
+//! The two-pass engine sizes every output row exactly (symbolic pass) before
+//! scattering it (numeric pass). Liu & Vinter's heterogeneous SpGEMM
+//! framework observes that most scale-free rows don't need the exact size:
+//! the structural upper bound
+//!
+//! ```text
+//! ub(i) = Σ_{k ∈ A(i,:), mask[k]} |B(k,:)|
+//! ```
+//!
+//! is computable in `O(nnz(A(i,:)))` with O(1) lookups of `|B(k,:)|` (CSR
+//! indptr deltas, or a cached row-size table such as the Phase-I
+//! `SymbolicStructure`), and it is *exact* whenever the row's sources share
+//! no columns — the overwhelmingly common case for the light tail of a
+//! power-law degree distribution. Rows whose bound fits a staging budget can
+//! therefore skip the symbolic pass entirely: scatter once into a
+//! bound-sized accumulator, drain into staging, and let a compaction pass
+//! stitch them next to the exactly-sized heavy rows.
+//!
+//! Bounds accumulate in `u64` with saturating adds: a hub row of a large
+//! product can exceed `u32::MAX` potential entries, and a wrapped bound
+//! would silently route a huge row into a tiny accumulator. Promote, then
+//! saturate — never wrap.
+
+use crate::{ColIndex, CsrMatrix, Scalar};
+
+/// Structural upper bound for one output row: the bound itself plus the
+/// masked source count saturated at [`NSRC_SAT`]. The routing reads three
+/// regimes off the exact low counts — 0 (nothing to do), 1 (the row is a
+/// verbatim scaled copy), `2..=SET_MERGE_MAX_K` (a direct k-way set-touch
+/// merge of scaled B rows) — and every saturated count behaves alike
+/// (scatter through an accumulator).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RowBound {
+    /// `Σ |B(k,:)|` over the row's masked sources — `≥` the exact output
+    /// nnz, equal when no two sources share a column. Saturating.
+    pub ub: u64,
+    /// Masked sources contributing to the row, saturated at [`NSRC_SAT`].
+    pub nsrc: u8,
+}
+
+/// Largest source count a claim can materialise through the direct k-way
+/// set-touch merge instead of an accumulator. Beyond this, the per-column
+/// k-pointer scan loses to a hash/dense scatter.
+pub const SET_MERGE_MAX_K: u8 = 8;
+
+/// Source counts saturate here: one past [`SET_MERGE_MAX_K`], so every
+/// count the routing distinguishes is exact and "saturated" uniformly
+/// means "accumulator territory".
+pub const NSRC_SAT: u8 = SET_MERGE_MAX_K + 1;
+
+impl RowBound {
+    /// Does the bounded row fit a staging budget of `budget` entries?
+    #[inline]
+    pub fn fits(&self, budget: u64) -> bool {
+        self.ub <= budget
+    }
+}
+
+/// Bound one row of `a × b` with `|B(k,:)|` read straight off B's indptr.
+#[inline]
+pub fn row_bound<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    row: usize,
+    b_mask: Option<&[bool]>,
+) -> RowBound {
+    bound_over(a.row(row).0, b_mask, |k| b.row_nnz(k) as u64)
+}
+
+/// Bound one row of `a × B` with B's row sizes supplied as a plain table
+/// (e.g. the Phase-I `SymbolicStructure` size array) — no CSR access to B.
+/// Sizes promote `u32 → u64` before summing, so a sum that would overflow
+/// `u32` is represented exactly rather than wrapped.
+#[inline]
+pub fn row_bound_from_sizes<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b_sizes: &[u32],
+    row: usize,
+    b_mask: Option<&[bool]>,
+) -> RowBound {
+    bound_over(a.row(row).0, b_mask, |k| b_sizes[k] as u64)
+}
+
+/// Bound every row of `a × b` serially. Parallel callers (the engines) run
+/// [`row_bound`] inside their own guided loops instead.
+pub fn matrix_bounds<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    b_mask: Option<&[bool]>,
+) -> Vec<RowBound> {
+    (0..a.nrows()).map(|i| row_bound(a, b, i, b_mask)).collect()
+}
+
+#[inline]
+fn bound_over(
+    acols: &[ColIndex],
+    b_mask: Option<&[bool]>,
+    size_of: impl Fn(usize) -> u64,
+) -> RowBound {
+    let mut ub = 0u64;
+    let mut nsrc = 0u8;
+    for &k in acols {
+        if let Some(mask) = b_mask {
+            if !mask[k as usize] {
+                continue;
+            }
+        }
+        ub = ub.saturating_add(size_of(k as usize));
+        if nsrc < NSRC_SAT {
+            nsrc += 1;
+        }
+    }
+    RowBound { ub, nsrc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    /// CSR from per-row column lists (ascending), all values 1.0.
+    fn csr(nrows: usize, ncols: usize, rows: &[&[u32]]) -> CsrMatrix<f64> {
+        assert_eq!(rows.len(), nrows);
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        for cols in rows {
+            indices.extend_from_slice(cols);
+            indptr.push(indices.len());
+        }
+        let values = vec![1.0; indices.len()];
+        CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, indices, values)
+    }
+
+    #[test]
+    fn empty_rows_bound_to_zero() {
+        let a = csr(3, 4, &[&[], &[1, 3], &[]]);
+        let b = csr(4, 5, &[&[0], &[1, 2], &[], &[4]]);
+        assert_eq!(row_bound(&a, &b, 0, None), RowBound { ub: 0, nsrc: 0 });
+        assert_eq!(row_bound(&a, &b, 2, None), RowBound { ub: 0, nsrc: 0 });
+        // sources pointing at empty B rows count as sources, add no bound
+        let c = csr(1, 4, &[&[2]]);
+        assert_eq!(row_bound(&c, &b, 0, None), RowBound { ub: 0, nsrc: 1 });
+    }
+
+    #[test]
+    fn dense_hub_rows_sum_every_source() {
+        // a hub row touching every B row bounds to nnz(B), nsrc saturates
+        let n = 300usize;
+        let hub: Vec<u32> = (0..n as u32).collect();
+        let a = csr(1, n, &[&hub]);
+        let b_rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| vec![i as u32, ((i + 1) % n) as u32])
+            .collect();
+        let mut sorted_rows: Vec<Vec<u32>> = b_rows;
+        for r in &mut sorted_rows {
+            r.sort_unstable();
+            r.dedup();
+        }
+        let refs: Vec<&[u32]> = sorted_rows.iter().map(|r| r.as_slice()).collect();
+        let b = csr(n, n, &refs);
+        let bound = row_bound(&a, &b, 0, None);
+        assert_eq!(bound.ub, b.nnz() as u64);
+        assert_eq!(bound.nsrc, NSRC_SAT, "source count saturates at NSRC_SAT");
+        assert!(!bound.fits(bound.ub - 1));
+        assert!(bound.fits(bound.ub));
+    }
+
+    #[test]
+    fn bound_dominates_exact_nnz_on_rectangular_product() {
+        // A 4×3 times B 3×6 — rectangular A ≠ B; the bound must dominate
+        // the exact row sizes of the reference product and be exact on
+        // rows whose sources share no columns
+        let a = csr(4, 3, &[&[0, 1], &[2], &[0, 1, 2], &[]]);
+        let b = csr(3, 6, &[&[0, 1, 5], &[1, 2], &[3, 4]]);
+        let c = reference::spmm_rowrow(&a, &b).unwrap();
+        for i in 0..4 {
+            let bound = row_bound(&a, &b, i, None);
+            assert!(
+                bound.ub >= c.row_nnz(i) as u64,
+                "row {i}: ub {} < exact {}",
+                bound.ub,
+                c.row_nnz(i)
+            );
+        }
+        // row 1 has one source ⇒ bound exact; row 0's sources collide on
+        // column 1 ⇒ bound strictly over
+        assert_eq!(row_bound(&a, &b, 1, None).ub, c.row_nnz(1) as u64);
+        assert_eq!(row_bound(&a, &b, 0, None).ub, 5);
+        assert_eq!(c.row_nnz(0), 4);
+    }
+
+    #[test]
+    fn masked_sources_are_excluded() {
+        let a = csr(1, 4, &[&[0, 1, 2, 3]]);
+        let b = csr(4, 8, &[&[0], &[1, 2], &[3, 4, 5], &[6, 7]]);
+        assert_eq!(row_bound(&a, &b, 0, None), RowBound { ub: 8, nsrc: 4 });
+        let mask = [true, false, true, false];
+        let masked = row_bound(&a, &b, 0, Some(&mask));
+        assert_eq!(masked, RowBound { ub: 4, nsrc: 2 });
+        let one = [false, false, true, false];
+        assert_eq!(
+            row_bound(&a, &b, 0, Some(&one)),
+            RowBound { ub: 3, nsrc: 1 }
+        );
+        let none = [false; 4];
+        assert_eq!(
+            row_bound(&a, &b, 0, Some(&none)),
+            RowBound { ub: 0, nsrc: 0 }
+        );
+        assert_eq!(
+            matrix_bounds(&a, &b, Some(&mask)),
+            vec![RowBound { ub: 4, nsrc: 2 }]
+        );
+    }
+
+    #[test]
+    fn sizes_table_matches_matrix_form() {
+        let a = csr(2, 3, &[&[0, 2], &[1]]);
+        let b = csr(3, 9, &[&[0, 1], &[2, 3, 4], &[5]]);
+        let sizes: Vec<u32> = (0..3).map(|i| b.row_nnz(i) as u32).collect();
+        for i in 0..2 {
+            assert_eq!(
+                row_bound_from_sizes::<f64>(&a, &sizes, i, None),
+                row_bound(&a, &b, i, None)
+            );
+        }
+    }
+
+    #[test]
+    fn u32_overflowing_sums_promote_and_saturate() {
+        // two sources of u32::MAX potential entries each: the sum must be
+        // represented exactly in u64 (promote), never wrapped
+        let a = csr(1, 2, &[&[0, 1]]);
+        let sizes = [u32::MAX, u32::MAX];
+        let bound = row_bound_from_sizes::<f64>(&a, &sizes, 0, None);
+        assert_eq!(bound.ub, 2 * (u32::MAX as u64), "sum promoted, not wrapped");
+        assert!(bound.ub > u32::MAX as u64);
+        // saturation guard at the u64 ceiling: a poisoned table must pin to
+        // MAX, not wrap back into the fused-tier range
+        let huge = [u64::MAX, u64::MAX];
+        let sat = bound_over(&[0, 1], None, |k| huge[k]);
+        assert_eq!(sat.ub, u64::MAX, "u64 overflow saturates");
+    }
+}

@@ -24,7 +24,73 @@ use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::Mutex;
 
-use crate::{ColIndex, HashAccumulator, ListAccumulator, RowSizer, Scalar, SparseAccumulator};
+use crate::{
+    ColIndex, HashAccumulator, ListAccumulator, RowAccumulator, RowSizer, Scalar, SparseAccumulator,
+};
+
+/// Staging arena for the fused single-pass tier: rows whose upper-bounded
+/// size fits the staging budget scatter once and drain here, into an
+/// exact-size carve-out appended to two progressively-growing SoA vectors.
+/// The compaction pass later memcpys each carved run into its final CSR
+/// slot once the exclusive scan has fixed the offsets.
+///
+/// Lifetime: a worker checks a buffer out of the [`WorkspacePool`] for one
+/// fused bin pass and stages rows into it; buffers holding staged data are
+/// handed to the compaction stage (not returned to the pool — the data
+/// must outlive the worker), then cleared and released with
+/// [`WorkspacePool::release_staging`].
+#[derive(Debug, Default)]
+pub struct StagingBuffer<T> {
+    /// `(row key, start offset into cols/vals)` per staged row, in staging
+    /// order. The run length is the row's exact drained nnz — recoverable
+    /// from the final indptr, so it is not stored twice.
+    pub rows: Vec<(u32, usize)>,
+    /// Carved column runs.
+    pub cols: Vec<ColIndex>,
+    /// Carved value runs.
+    pub vals: Vec<T>,
+}
+
+impl<T: Scalar> StagingBuffer<T> {
+    /// Empty arena; the vectors grow to the high-water mark and stay.
+    pub fn new() -> Self {
+        Self {
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Drain `acc` (sorted ascending, as every accumulator drains) into a
+    /// fresh exact-size carve-out and record it under `key`. Returns the
+    /// row's exact nnz.
+    pub fn stage<A: RowAccumulator<T>>(&mut self, key: u32, acc: &mut A) -> usize {
+        let n = acc.nnz();
+        let start = self.cols.len();
+        self.cols.resize(start + n, 0);
+        self.vals.resize(start + n, T::ZERO);
+        acc.drain_sorted_into(&mut self.cols[start..], &mut self.vals[start..]);
+        self.rows.push((key, start));
+        n
+    }
+
+    /// Rows currently staged.
+    pub fn staged_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing has been staged since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Forget all staged rows, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+    }
+}
 
 /// Everything one worker thread needs to run symbolic + numeric passes:
 /// the three accumulator variants, the symbolic sizer, and the scratch
@@ -133,6 +199,49 @@ impl WorkspacePool {
             pool: self,
             sizer: Some(sizer),
         }
+    }
+
+    /// Check out a staging arena for one fused bin pass. Unlike `acquire`,
+    /// this hands over ownership with no guard: a buffer holding staged
+    /// rows must outlive the worker that filled it (the compaction stage
+    /// reads it), so the fused engines route filled buffers through a
+    /// capture sink and call [`Self::release_staging`] after compaction;
+    /// buffers that stay empty go straight back.
+    pub fn take_staging<T: Scalar>(&self) -> StagingBuffer<T> {
+        let popped = self
+            .stores
+            .lock()
+            .unwrap()
+            .get_mut(&TypeId::of::<StagingBuffer<T>>())
+            .and_then(Vec::pop);
+        match popped {
+            Some(boxed) => *boxed
+                .downcast::<StagingBuffer<T>>()
+                .expect("pool entry keyed by its own TypeId"),
+            None => StagingBuffer::new(),
+        }
+    }
+
+    /// Return a staging arena, clearing any staged rows but keeping its
+    /// allocations for the next checkout.
+    pub fn release_staging<T: Scalar>(&self, mut buf: StagingBuffer<T>) {
+        buf.clear();
+        self.stores
+            .lock()
+            .unwrap()
+            .entry(TypeId::of::<StagingBuffer<T>>())
+            .or_default()
+            .push(Box::new(buf));
+    }
+
+    /// Idle staging arenas held for scalar type `T` (test/introspection
+    /// hook).
+    pub fn idle_staging<T: Scalar>(&self) -> usize {
+        self.stores
+            .lock()
+            .unwrap()
+            .get(&TypeId::of::<StagingBuffer<T>>())
+            .map_or(0, Vec::len)
     }
 
     /// Idle workspaces held for scalar type `T` (test/introspection hook).
@@ -300,6 +409,40 @@ mod tests {
         let mut s = pool.acquire_sizer(20);
         assert!(s.ncols() >= 20);
         assert!(s.mark(3), "stale stamp aliased after pooling");
+    }
+
+    #[test]
+    fn staging_carves_exact_runs_and_round_trips() {
+        let pool = WorkspacePool::new();
+        let mut buf = pool.take_staging::<f64>();
+        let mut spa = SparseAccumulator::new(64);
+        spa.scatter(7, 1.0);
+        spa.scatter(3, 2.0);
+        spa.scatter(7, 0.5);
+        assert_eq!(buf.stage(11, &mut spa), 2);
+        spa.scatter(9, 4.0);
+        assert_eq!(buf.stage(12, &mut spa), 1);
+        assert_eq!(buf.rows, vec![(11, 0), (12, 2)]);
+        assert_eq!(buf.cols, vec![3, 7, 9]);
+        assert_eq!(buf.vals, vec![2.0, 1.5, 4.0]);
+        assert_eq!(buf.staged_rows(), 2);
+        pool.release_staging(buf);
+        assert_eq!(pool.idle_staging::<f64>(), 1);
+        // the released buffer comes back cleared, allocations intact
+        let buf = pool.take_staging::<f64>();
+        assert!(buf.is_empty());
+        assert!(buf.cols.capacity() >= 3);
+        assert_eq!(pool.idle_staging::<f64>(), 0);
+    }
+
+    #[test]
+    fn staging_pools_independently_of_workspaces() {
+        let pool = WorkspacePool::new();
+        pool.release_staging(pool.take_staging::<f64>());
+        drop(pool.acquire::<f64>(4));
+        assert_eq!(pool.idle_staging::<f64>(), 1);
+        assert_eq!(pool.idle_workspaces::<f64>(), 1);
+        assert_eq!(pool.idle_staging::<f32>(), 0);
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //! The key includes the platform scale because thresholds are picked by
 //! the device cost models: the same operands on a differently scaled
 //! platform legitimately pick different thresholds.
+//!
+//! The key deliberately does *not* include the fused-tier pin
+//! (`SPMM_FUSED` / `binning::fused`): artifacts are pre-numeric (they
+//! record thresholds, masks, and width tables, never engine scratch),
+//! and the fused single-pass tier is bit-identical to the two-pass
+//! oracle by contract — so artifacts built while the pin was off serve
+//! fused requests unchanged, and vice versa. `serve_equivalence`'s
+//! fused-flip test pins that reuse.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
