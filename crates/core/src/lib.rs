@@ -48,8 +48,8 @@ pub use hipc2012::{hipc2012, hipc2012_with};
 pub use result::SpmmOutput;
 pub use schedule::{ClaimSchedule, ExecConfig, ExecCounts, ExecPolicy, ScheduledClaim};
 pub use shard::{
-    concat_row_bands, hh_cpu_sharded, hh_cpu_sharded_with_artifacts, sum_profiles, ShardConfig,
-    ShardMode, ShardPlan, ShardedOutput,
+    concat_row_bands, hh_cpu_sharded, hh_cpu_sharded_with_artifacts, sum_profiles, PipelineStats,
+    ShardConfig, ShardMode, ShardPlan, ShardedOutput, SpillStore,
 };
 pub use threshold::{identify_plan, Phase1Plan, SymbolicStructure, ThresholdPolicy, Thresholds};
 pub use units::WorkUnitConfig;

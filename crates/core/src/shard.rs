@@ -1,5 +1,5 @@
 //! Sharded out-of-core SpGEMM: row-band partitioning over the HH-CPU
-//! engine, with a memory-capped spill mode and a simulated 1.5D
+//! engine, with a memory-capped pipelined spill mode and a simulated 1.5D
 //! communication sweep.
 //!
 //! A shard is "a claim schedule with a row offset": the [`ShardPlan`]
@@ -17,27 +17,79 @@
 //! * **Pooled** — shards fan out across the host [`ThreadPool`], each on
 //!   a serial inner engine sharing the `Arc<WorkspacePool>` (the same
 //!   outer-parallel/inner-serial shape as the serve layer's micro-batch).
-//! * **Out-of-core** — shards run sequentially on the full host pool
-//!   under a byte cap; finished shard outputs spill to disk as binary CSR
-//!   chunks (`spmm_sparse::io::write_csr_chunk`) and stream back only for
-//!   the final concat, so peak residency is one shard's working set plus
-//!   whatever fits under the cap.
+//! * **Out-of-core** — band work fans across the host pool like `Pooled`,
+//!   but admission into the pipeline is gated by a resident-byte budget
+//!   ([`ResidentBudget`]: in-flight band inputs + finished C bands,
+//!   byte-accurate against `byte_cap`), finished bands hand off to a
+//!   dedicated write-behind spill thread that owns the [`SpillStore`], and
+//!   the final stitch streams spilled chunks back through a prefetching
+//!   reader thread ([`SpillStore::into_stitched`]) — compute never blocks
+//!   on `write_csr_chunk`, and the stitch never holds all bands resident.
+//!   Band results commit in plan order regardless of completion order
+//!   ([`OrderedCommitter`]), which is what keeps the stitched C *and* the
+//!   summed profile bit-identical to the monolithic run (DESIGN.md §3.9).
+//!   `SPMM_SHARD_IO_THREADS=0` ([`io_mode`]) degrades to the original
+//!   synchronous loop: bands sequential on the full pool, inline spills.
 //!
 //! The [`ShardLink`] model prices the communication a real 1.5D
 //! decomposition would pay (B replication factor `c` trades resident
 //! memory against B-shift traffic) so the tradeoff is measurable before
 //! any real multi-process work.
 
-use std::sync::Mutex;
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Instant;
 
 use spmm_hetsim::{PhaseBreakdown, PhaseTimes, ShardLink, ShardLinkCost};
-use spmm_parallel::ThreadPool;
-use spmm_sparse::io::{read_csr_chunk, write_csr_chunk};
+use spmm_parallel::{OrderedCommitter, ThreadPool};
+use spmm_sparse::io::{read_csr_chunk, read_csr_chunk_header, split_csr_chunk, write_csr_chunk};
 use spmm_sparse::{CsrMatrix, Scalar, SparseError};
 
 use crate::context::HeteroContext;
 use crate::hhcpu::{hh_cpu_with_artifacts, HhCpuConfig, SpmmArtifacts};
 use crate::result::SpmmOutput;
+
+/// Runtime pin for the out-of-core pipeline, mirroring the
+/// `SPMM_FUSED`/`SPMM_SIMD` dispatch idiom: `SPMM_SHARD_IO_THREADS=0`
+/// forces the synchronous fallback (sequential bands, inline spill I/O);
+/// unset or any positive count runs the pipelined path (one write-behind
+/// spill thread + one stitch prefetch thread). [`io_mode::set_forced`] is
+/// the in-process override for tests — it is process-global, so tests
+/// that flip it must serialize with themselves.
+pub mod io_mode {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::sync::OnceLock;
+
+    /// 0 = follow the environment, 1 = forced sync, 2 = forced pipelined.
+    static FORCED: AtomicU8 = AtomicU8::new(0);
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+
+    fn env_pipelined() -> bool {
+        match std::env::var("SPMM_SHARD_IO_THREADS") {
+            Ok(v) => v.trim().parse::<usize>().map(|n| n > 0).unwrap_or(true),
+            Err(_) => true,
+        }
+    }
+
+    /// Does the out-of-core mode run the pipelined path?
+    pub fn pipelined() -> bool {
+        match FORCED.load(Ordering::Relaxed) {
+            1 => false,
+            2 => true,
+            _ => *FROM_ENV.get_or_init(env_pipelined),
+        }
+    }
+
+    /// Test hook: `Some(true)` forces pipelined, `Some(false)` forces the
+    /// synchronous fallback, `None` restores environment dispatch.
+    pub fn set_forced(on: Option<bool>) {
+        let v = match on {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        };
+        FORCED.store(v, Ordering::Relaxed);
+    }
+}
 
 /// Partition of A's rows into contiguous, nnz-balanced bands.
 ///
@@ -98,8 +150,9 @@ impl ShardPlan {
 pub enum ShardMode {
     /// Shards fan out across the host pool, serial inner engines.
     Pooled,
-    /// Shards run sequentially on the full host pool; finished outputs
-    /// spill to disk whenever their resident CSR bytes exceed `byte_cap`.
+    /// Band work fans across the host pool under a resident-byte budget of
+    /// `byte_cap`; finished outputs spill to disk via a write-behind
+    /// thread (or inline when [`io_mode::pipelined`] is off).
     OutOfCore { byte_cap: usize },
 }
 
@@ -126,7 +179,7 @@ impl ShardConfig {
         }
     }
 
-    /// Sequential out-of-core execution under `byte_cap` resident bytes.
+    /// Out-of-core execution under `byte_cap` resident bytes.
     pub fn out_of_core(shards: usize, byte_cap: usize) -> Self {
         Self {
             shards,
@@ -140,6 +193,28 @@ impl ShardConfig {
         self.replication = c;
         self
     }
+}
+
+/// Diagnostics of one pipelined out-of-core run — how the byte budget and
+/// the write-behind thread actually behaved. Purely observational: none
+/// of these values feed back into the computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// The configured resident-byte budget.
+    pub byte_cap: usize,
+    /// Peak bytes the budget ever held: in-flight band inputs + finished
+    /// C bands not yet spilled. Bounded by `byte_cap` plus one band's
+    /// working set (input + C) — the admission overrides that keep the
+    /// pipeline deadlock-free each admit at most one band past the cap.
+    pub peak_resident_bytes: usize,
+    /// Worker threads the band work fanned across.
+    pub workers: usize,
+    /// Nanoseconds the write-behind spill thread spent idle waiting for
+    /// finished bands (compute-bound run ⇒ large; I/O-bound ⇒ small).
+    pub spill_wait_ns: u64,
+    /// Nanoseconds workers spent blocked in budget admission (summed
+    /// across workers).
+    pub admit_wait_ns: u64,
 }
 
 /// Result of a sharded multiply: the stitched monolithic-equivalent
@@ -161,6 +236,10 @@ pub struct ShardedOutput<T: Scalar> {
     pub spilled_shards: usize,
     /// Simulated 1.5D communication bill at `config.replication`.
     pub link: ShardLinkCost,
+    /// Pipeline diagnostics — `Some` only for the pipelined out-of-core
+    /// path (`None` for pooled and for the `SPMM_SHARD_IO_THREADS=0`
+    /// synchronous fallback).
+    pub pipe: Option<PipelineStats>,
 }
 
 /// Field-wise sum of per-shard simulated profiles — the defined
@@ -238,39 +317,57 @@ pub fn hh_cpu_sharded_with_artifacts<T: Scalar>(
     let plan = ShardPlan::nnz_balanced(a, shard.shards);
     let p = plan.shards();
 
-    // Bands and their sliced artifacts are cheap to build (one memcpy of
-    // the band arrays + one symbolic scan); the engine runs dominate.
-    let bands: Vec<CsrMatrix<T>> = (0..p).map(|i| a.row_band(plan.band(i))).collect();
-    let band_a_bytes: Vec<usize> = bands.iter().map(CsrMatrix::byte_size).collect();
-
-    let run_band = |i: usize, band_ctx: &mut HeteroContext| -> SpmmOutput<T> {
-        let band_artifacts = artifacts.for_row_band(plan.band(i), &bands[i]);
-        hh_cpu_with_artifacts(band_ctx, &bands[i], b, config, &band_artifacts)
-    };
+    // Band input bytes come straight from A's row pointers — the
+    // pipelined path must price a band for admission *before* deciding to
+    // materialize it, and the link model wants the same numbers.
+    let band_a_bytes: Vec<usize> = (0..p).map(|i| a.row_band_byte_size(plan.band(i))).collect();
 
     let mut spilled_shards = 0usize;
-    let outputs: Vec<SpmmOutput<T>> = match shard.mode {
+    let mut pipe = None;
+    // Each branch yields the band outputs in plan order; the pipelined
+    // branch also yields the already-stitched C plus per-band C bytes
+    // (its outputs carry empty placeholder matrices — the real bands
+    // streamed through the spill store).
+    type BandRun<T> = (Vec<SpmmOutput<T>>, Option<(CsrMatrix<T>, Vec<usize>)>);
+    let (outputs, prestitched): BandRun<T> = match shard.mode {
         ShardMode::Pooled => {
+            // Bands and their sliced artifacts are cheap to build (one
+            // memcpy of the band arrays + one symbolic scan); the
+            // engine runs dominate.
+            let bands: Vec<CsrMatrix<T>> = (0..p).map(|i| a.row_band(plan.band(i))).collect();
             // Outer-parallel, inner-serial: the same shape as the serve
             // layer's micro-batch. Device models are per-band (cheap);
             // the workspace pool is the shared, thread-keyed resource.
-            ctx.pool.par_map(p, |i| {
+            let outs = ctx.pool.par_map(p, |i| {
                 let mut band_ctx = HeteroContext::with_shared(
                     ctx.platform,
                     ThreadPool::new(1),
                     ctx.workspaces.clone(),
                 );
-                run_band(i, &mut band_ctx)
-            })
+                let band_artifacts = artifacts.for_row_band(plan.band(i), &bands[i]);
+                hh_cpu_with_artifacts(&mut band_ctx, &bands[i], b, config, &band_artifacts)
+            });
+            (outs, None)
+        }
+        ShardMode::OutOfCore { byte_cap } if io_mode::pipelined() => {
+            let run = run_out_of_core_pipelined(ctx, a, b, config, artifacts, &plan, byte_cap);
+            spilled_shards = run.spilled;
+            pipe = Some(run.stats);
+            (run.outputs, Some((run.c, run.band_c_bytes)))
         }
         ShardMode::OutOfCore { byte_cap } => {
+            // Synchronous fallback (SPMM_SHARD_IO_THREADS=0): bands
+            // run sequentially on the full host pool, spill I/O
+            // inline, all bands restored before one batch concat.
             let mut spill = SpillStore::new(byte_cap);
             let mut outs: Vec<SpmmOutput<T>> = Vec::with_capacity(p);
             for i in 0..p {
-                let mut out = run_band(i, ctx);
+                let band = a.row_band(plan.band(i));
+                let band_artifacts = artifacts.for_row_band(plan.band(i), &band);
+                let mut out = hh_cpu_with_artifacts(ctx, &band, b, config, &band_artifacts);
                 // Hand the finished C band to the spill store, which
-                // evicts oldest-first whenever residency exceeds the cap;
-                // the matrix left in the output is an empty placeholder.
+                // evicts oldest-first whenever residency exceeds the
+                // cap; the matrix left behind is an empty placeholder.
                 let c = std::mem::replace(&mut out.c, CsrMatrix::zeros(0, 0));
                 spill.push(i, c).expect("shard spill write failed");
                 outs.push(out);
@@ -281,16 +378,21 @@ pub fn hh_cpu_sharded_with_artifacts<T: Scalar>(
             for (out, c) in outs.iter_mut().zip(restored) {
                 out.c = c;
             }
-            outs
+            (outs, None)
         }
     };
 
     let per_shard: Vec<PhaseBreakdown> = outputs.iter().map(|o| o.profile).collect();
     let tuples_merged: usize = outputs.iter().map(|o| o.tuples_merged).sum();
-    let band_cs: Vec<CsrMatrix<T>> = outputs.into_iter().map(|o| o.c).collect();
-    let band_c_bytes: Vec<usize> = band_cs.iter().map(CsrMatrix::byte_size).collect();
+    let (c, band_c_bytes) = match prestitched {
+        Some(stitched) => stitched,
+        None => {
+            let band_cs: Vec<CsrMatrix<T>> = outputs.into_iter().map(|o| o.c).collect();
+            let bytes: Vec<usize> = band_cs.iter().map(CsrMatrix::byte_size).collect();
+            (concat_row_bands(&band_cs, b.ncols()), bytes)
+        }
+    };
 
-    let c = concat_row_bands(&band_cs, b.ncols());
     let profile = sum_profiles(&per_shard);
     let th = &artifacts.plan.thresholds;
     let output = SpmmOutput {
@@ -316,24 +418,367 @@ pub fn hh_cpu_sharded_with_artifacts<T: Scalar>(
         plan,
         spilled_shards,
         link,
+        pipe,
+    }
+}
+
+/// Everything the pipelined out-of-core run hands back to the driver.
+struct PipelinedRun<T: Scalar> {
+    /// Band outputs in plan order; `c` fields are empty placeholders.
+    outputs: Vec<SpmmOutput<T>>,
+    /// The stitched C.
+    c: CsrMatrix<T>,
+    /// Per-band C bytes (link-model input), in plan order.
+    band_c_bytes: Vec<usize>,
+    /// Bands that took the disk round-trip.
+    spilled: usize,
+    stats: PipelineStats,
+}
+
+/// The pipelined out-of-core executor (see DESIGN.md §3.9).
+///
+/// Three stages, all bounded by one [`ResidentBudget`]:
+///
+/// 1. **Compute** — `min(pool, p)` workers claim bands *in plan order*;
+///    admission waits until the band's input bytes fit under the cap.
+///    Each worker runs the band through a serial inner engine (the same
+///    shape as `Pooled`, so per-band outputs are bit-identical to it).
+/// 2. **Commit + write-behind** — finished bands enter an
+///    [`OrderedCommitter`], which releases them in plan order to an
+///    unbounded channel feeding the spill thread. The spill thread owns
+///    the [`SpillStore`] and evicts to disk exactly like the synchronous
+///    path, so compute never blocks on `write_csr_chunk`.
+/// 3. **Streaming stitch** — after the last commit the store sizes the
+///    final matrix from per-band chunk headers and appends bands one at a
+///    time, prefetching the next spilled chunk on a reader thread while
+///    the current band's indptr fix-up memcpy runs.
+fn run_out_of_core_pipelined<T: Scalar>(
+    ctx: &HeteroContext,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    config: &HhCpuConfig,
+    artifacts: &SpmmArtifacts,
+    plan: &ShardPlan,
+    byte_cap: usize,
+) -> PipelinedRun<T> {
+    let p = plan.shards();
+    // Cap workers at the hardware's parallelism even when the host pool
+    // asks for more: band compute is CPU-bound, so oversubscribed workers
+    // only timeslice — every band then finishes clustered at the end,
+    // which defeats the compute/spill overlap and piles admission waits
+    // at the tail. Staggered completions keep the writer fed throughout.
+    // Worker count never affects the bits (in-order commit).
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(usize::MAX);
+    let workers = ctx.pool.num_threads().min(p).min(hw).max(1);
+    let band_a_bytes: Vec<usize> = (0..p).map(|i| a.row_band_byte_size(plan.band(i))).collect();
+    let budget = ResidentBudget::new(byte_cap);
+    let outs: Mutex<Vec<Option<SpmmOutput<T>>>> = Mutex::new((0..p).map(|_| None).collect());
+    let band_c_bytes: Mutex<Vec<usize>> = Mutex::new(vec![0; p]);
+
+    let (c, spilled, spill_wait_ns) = std::thread::scope(|s| {
+        // The channel and committer live inside this scope so a worker
+        // panic unwinds them (disconnecting the writer) before the scope
+        // joins the writer thread — no deadlock on the way out.
+        let (tx, rx) = mpsc::channel::<(usize, CsrMatrix<T>)>();
+        let writer = s.spawn({
+            let budget = &budget;
+            move || -> Result<(SpillStore<T>, u64), SparseError> {
+                let mut store = SpillStore::new(byte_cap);
+                let mut wait_ns = 0u64;
+                loop {
+                    let idle = Instant::now();
+                    let msg = rx.recv();
+                    wait_ns += idle.elapsed().as_nanos() as u64;
+                    let Ok((i, c)) = msg else { break };
+                    let c_bytes = c.byte_size();
+                    let before = store.resident_bytes();
+                    let pushed = store.push(i, c).and_then(|()| {
+                        // The store's own cap only sees C bands; the
+                        // budget also carries in-flight band inputs.
+                        // Keep evicting while the *global* residency
+                        // (net of what this push already freed) is over
+                        // cap, so over-cap excess never outlives the
+                        // band that caused it.
+                        loop {
+                            let to_disk = before + c_bytes - store.resident_bytes();
+                            if budget.resident().saturating_sub(to_disk) <= byte_cap
+                                || !store.evict_one()?
+                            {
+                                return Ok(());
+                            }
+                        }
+                    });
+                    // Whatever the store evicted to disk (possibly this
+                    // band, possibly older ones) leaves the budget.
+                    let to_disk = before + c_bytes - store.resident_bytes();
+                    budget.spill_done(to_disk);
+                    if let Err(e) = pushed {
+                        // Wake every admission waiter so workers drain
+                        // instead of deadlocking on a budget that will
+                        // never shrink; the join below surfaces the error.
+                        budget.poison();
+                        return Err(e);
+                    }
+                    // Write-behind: once the budget has demonstrated
+                    // pressure (something already spilled), pre-stage the
+                    // next eviction victim — the budget is already
+                    // released, so the write overlaps band compute, and
+                    // the eventual eviction drops the memory with no I/O
+                    // on the admission path. Under a cap nothing ever
+                    // hits, staging would be pure overhead, so it stays
+                    // off.
+                    if store.spilled() > 0 {
+                        if let Err(e) = store.stage_oldest() {
+                            budget.poison();
+                            return Err(e);
+                        }
+                    }
+                }
+                Ok((store, wait_ns))
+            }
+        });
+
+        // The commit closure owns `tx` (so dropping it after `finish`
+        // disconnects the writer) and borrows the rest.
+        let (outs_ref, bytes_ref, budget_ref, inputs_ref) =
+            (&outs, &band_c_bytes, &budget, &band_a_bytes);
+        let committer =
+            OrderedCommitter::new(move |i: usize, (out, c): (SpmmOutput<T>, CsrMatrix<T>)| {
+                bytes_ref.lock().unwrap()[i] = c.byte_size();
+                outs_ref.lock().unwrap()[i] = Some(out);
+                // The band input dies here (the worker dropped it before
+                // submitting); its C is now the writer's responsibility.
+                budget_ref.commit(inputs_ref[i]);
+                if tx.send((i, c)).is_err() {
+                    // Writer already failed: it poisoned the budget, but
+                    // the pending-spill count must not dangle.
+                    budget_ref.spill_done(0);
+                }
+            });
+
+        std::thread::scope(|ws| {
+            for _ in 0..workers {
+                let committer = &committer;
+                let budget = &budget;
+                let band_a_bytes = &band_a_bytes;
+                ws.spawn(move || {
+                    while let Some(i) = budget.claim_next(band_a_bytes) {
+                        let band = a.row_band(plan.band(i));
+                        let mut band_ctx = HeteroContext::with_shared(
+                            ctx.platform,
+                            ThreadPool::new(1),
+                            ctx.workspaces.clone(),
+                        );
+                        let band_artifacts = artifacts.for_row_band(plan.band(i), &band);
+                        let mut out =
+                            hh_cpu_with_artifacts(&mut band_ctx, &band, b, config, &band_artifacts);
+                        let c = std::mem::replace(&mut out.c, CsrMatrix::zeros(0, 0));
+                        // C enters the budget the moment it exists; the
+                        // band input leaves at commit time.
+                        budget.charge_c(i, c.byte_size());
+                        committer.submit(i, (out, c));
+                    }
+                });
+            }
+        });
+
+        let (committed, commit) = committer.finish();
+        assert_eq!(committed, p, "every band must commit");
+        drop(commit); // drops tx → the writer's recv disconnects
+        let (store, wait_ns) = writer
+            .join()
+            .expect("spill writer panicked")
+            .expect("shard spill write failed");
+        let spilled = store.spilled();
+        let c = store
+            .into_stitched(b.ncols())
+            .expect("shard spill read failed");
+        (c, spilled, wait_ns)
+    });
+
+    let outputs: Vec<SpmmOutput<T>> = outs
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("band output missing after commit"))
+        .collect();
+    let (peak_resident_bytes, admit_wait_ns) = budget.stats();
+    PipelinedRun {
+        outputs,
+        c,
+        band_c_bytes: band_c_bytes.into_inner().unwrap(),
+        spilled,
+        stats: PipelineStats {
+            byte_cap,
+            peak_resident_bytes,
+            workers,
+            spill_wait_ns,
+            admit_wait_ns,
+        },
+    }
+}
+
+/// Byte-accurate admission gate of the pipelined out-of-core run.
+///
+/// `resident` counts in-flight band inputs, finished C bands awaiting
+/// commit or spill, and whatever the spill store still holds in memory.
+/// All increments are gated at `byte_cap` except two deadlock-breaking
+/// overrides, each of which admits at most one band's working set past
+/// the cap at a time (hence the `peak ≤ byte_cap + one band` guarantee):
+///
+/// * a band may be *claimed* over the cap when nothing is in flight and
+///   no spill is pending — otherwise an over-cap band could never start;
+/// * a finished C may be *charged* over the cap when its band is the
+///   oldest in flight — its commit is what lets everyone else progress.
+struct ResidentBudget {
+    cap: usize,
+    state: Mutex<BudgetState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct BudgetState {
+    /// In-flight band inputs + unspilled finished C bytes.
+    resident: usize,
+    /// Bands claimed but not yet committed.
+    inflight: usize,
+    /// Bands committed to the writer but not yet pushed into the store.
+    pending_spills: usize,
+    /// Next band index to claim (claims happen in plan order).
+    next_band: usize,
+    /// Bands committed so far — the oldest in-flight band's index.
+    committed: usize,
+    peak: usize,
+    admit_wait_ns: u64,
+    /// Set on writer I/O failure: admission stops gating so workers
+    /// drain and the error can surface at join.
+    poisoned: bool,
+}
+
+impl ResidentBudget {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            state: Mutex::new(BudgetState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Claim the next band in plan order once its input fits the budget.
+    fn claim_next(&self, band_bytes: &[usize]) -> Option<usize> {
+        let mut g = self.state.lock().unwrap();
+        loop {
+            if g.next_band >= band_bytes.len() {
+                return None;
+            }
+            let bytes = band_bytes[g.next_band];
+            let fits = g.resident + bytes <= self.cap;
+            let idle = g.inflight == 0 && g.pending_spills == 0;
+            if fits || idle || g.poisoned {
+                let i = g.next_band;
+                g.next_band += 1;
+                g.resident += bytes;
+                g.inflight += 1;
+                g.peak = g.peak.max(g.resident);
+                return Some(i);
+            }
+            let blocked = Instant::now();
+            g = self.cv.wait(g).unwrap();
+            g.admit_wait_ns += blocked.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Charge a finished band's C bytes, waiting for room. The override:
+    /// when `band` is the oldest in flight *and* the writer has drained
+    /// its queue, the charge proceeds over cap — the oldest band's commit
+    /// is what unblocks everyone else, and requiring an empty spill queue
+    /// keeps successive overrides from stacking excess (the writer evicts
+    /// the previous over-cap C before the next one may enter).
+    fn charge_c(&self, band: usize, c_bytes: usize) {
+        let mut g = self.state.lock().unwrap();
+        loop {
+            let fits = g.resident + c_bytes <= self.cap;
+            let oldest = band == g.committed && g.pending_spills == 0;
+            if fits || oldest || g.poisoned {
+                break;
+            }
+            let blocked = Instant::now();
+            g = self.cv.wait(g).unwrap();
+            g.admit_wait_ns += blocked.elapsed().as_nanos() as u64;
+        }
+        g.resident += c_bytes;
+        g.peak = g.peak.max(g.resident);
+    }
+
+    /// In-order commit of a band: its input bytes leave the budget, its C
+    /// is now queued for the writer.
+    fn commit(&self, input_bytes: usize) {
+        let mut g = self.state.lock().unwrap();
+        g.resident -= input_bytes;
+        g.inflight -= 1;
+        g.pending_spills += 1;
+        g.committed += 1;
+        self.cv.notify_all();
+    }
+
+    /// The writer finished one band; `disk_bytes` of residency moved to
+    /// disk (this band and/or older evictions).
+    fn spill_done(&self, disk_bytes: usize) {
+        let mut g = self.state.lock().unwrap();
+        g.resident -= disk_bytes;
+        g.pending_spills -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Current resident bytes (writer-side view for global eviction).
+    fn resident(&self) -> usize {
+        self.state.lock().unwrap().resident
+    }
+
+    /// Writer I/O failure: stop gating so every waiter drains.
+    fn poison(&self) {
+        self.state.lock().unwrap().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// `(peak resident bytes, summed admission wait ns)`.
+    fn stats(&self) -> (usize, u64) {
+        let g = self.state.lock().unwrap();
+        (g.peak, g.admit_wait_ns)
     }
 }
 
 /// Oldest-first spill store for out-of-core shard outputs: keeps finished
 /// C bands in memory up to `byte_cap` CSR bytes, writing the overflow to
-/// binary chunk files in a per-run temp directory. `drain` returns every
-/// band in order and removes the directory.
-struct SpillStore<T: Scalar> {
+/// binary chunk files in a per-run temp directory. In the pipelined mode
+/// the write-behind thread owns the store; the synchronous fallback
+/// drives it inline. Either way the directory is removed by
+/// [`SpillStore::drain`] / [`SpillStore::into_stitched`] on success and
+/// by `Drop` on every other path (early error, panic unwind, writer
+/// shutdown), so no spill files outlive the run.
+pub struct SpillStore<T: Scalar> {
     byte_cap: usize,
     resident_bytes: usize,
-    /// `(shard index, Some(resident) | None(spilled))`, oldest first.
-    slots: Vec<(usize, Option<CsrMatrix<T>>)>,
+    /// Oldest first.
+    slots: Vec<Slot<T>>,
     dir: Option<std::path::PathBuf>,
     spilled: usize,
 }
 
+/// One band in the store: resident (`band` is `Some`), spilled (`None`),
+/// or both — `staged` marks a resident band whose chunk file is already
+/// on disk (write-behind), so evicting it frees memory with no I/O.
+struct Slot<T: Scalar> {
+    shard: usize,
+    band: Option<CsrMatrix<T>>,
+    staged: bool,
+}
+
 impl<T: Scalar> SpillStore<T> {
-    fn new(byte_cap: usize) -> Self {
+    /// An empty store holding at most `byte_cap` resident CSR bytes.
+    pub fn new(byte_cap: usize) -> Self {
         Self {
             byte_cap,
             resident_bytes: 0,
@@ -343,53 +788,117 @@ impl<T: Scalar> SpillStore<T> {
         }
     }
 
-    fn spilled(&self) -> usize {
+    /// How many bands have been written to disk so far.
+    pub fn spilled(&self) -> usize {
         self.spilled
+    }
+
+    /// CSR bytes currently held in memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// The spill directory, if any band has been evicted yet.
+    pub fn dir_path(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
     }
 
     fn chunk_path(dir: &std::path::Path, shard: usize) -> std::path::PathBuf {
         dir.join(format!("shard-{shard}.csr"))
     }
 
-    fn push(&mut self, shard: usize, c: CsrMatrix<T>) -> Result<(), SparseError> {
-        self.resident_bytes += c.byte_size();
-        self.slots.push((shard, Some(c)));
-        let mut oldest = 0;
-        while self.resident_bytes > self.byte_cap && oldest < self.slots.len() {
-            let (idx, slot) = &mut self.slots[oldest];
-            oldest += 1;
-            let Some(m) = slot.take() else { continue };
-            let dir = match &self.dir {
-                Some(d) => d.clone(),
-                None => {
-                    let d = spill_dir()?;
-                    self.dir = Some(d.clone());
-                    d
-                }
-            };
-            let file = std::fs::File::create(Self::chunk_path(&dir, *idx))?;
-            let mut writer = std::io::BufWriter::new(file);
-            write_csr_chunk(&m, &mut writer)?;
-            use std::io::Write;
-            writer.flush()?;
-            self.resident_bytes -= m.byte_size();
-            self.spilled += 1;
+    fn ensure_dir(&mut self) -> Result<std::path::PathBuf, SparseError> {
+        match &self.dir {
+            Some(d) => Ok(d.clone()),
+            None => {
+                let d = spill_dir()?;
+                self.dir = Some(d.clone());
+                Ok(d)
+            }
         }
+    }
+
+    /// Add band `shard`, evicting oldest-first while over the byte cap.
+    pub fn push(&mut self, shard: usize, c: CsrMatrix<T>) -> Result<(), SparseError> {
+        self.resident_bytes += c.byte_size();
+        self.slots.push(Slot {
+            shard,
+            band: Some(c),
+            staged: false,
+        });
+        while self.resident_bytes > self.byte_cap && self.evict_one()? {}
         Ok(())
     }
 
-    fn drain(&mut self) -> Result<Vec<CsrMatrix<T>>, SparseError> {
+    /// Write the chunk file of the *oldest* unstaged resident band — the
+    /// next eviction victim — while keeping the band resident
+    /// (write-behind staging). A later [`Self::evict_one`] of a staged
+    /// band frees its memory without any I/O, so the admission critical
+    /// path never waits on a disk write. Staging exactly the next victim
+    /// (rather than every band) wastes at most one chunk write on a band
+    /// that ends up never evicted. Returns `false` when every resident
+    /// band is already staged.
+    pub fn stage_oldest(&mut self) -> Result<bool, SparseError> {
+        let Some(pos) = self
+            .slots
+            .iter()
+            .position(|s| s.band.is_some() && !s.staged)
+        else {
+            return Ok(false);
+        };
+        let dir = self.ensure_dir()?;
+        let slot = &self.slots[pos];
+        let m = slot
+            .band
+            .as_ref()
+            .expect("position() found a resident slot");
+        let mut file = std::fs::File::create(Self::chunk_path(&dir, slot.shard))?;
+        write_csr_chunk(m, &mut file)?;
+        self.slots[pos].staged = true;
+        Ok(true)
+    }
+
+    /// Spill the oldest resident band to disk regardless of the cap;
+    /// `false` when nothing is left to evict. The pipelined writer uses
+    /// this to shrink the store when the *global* budget — which also
+    /// carries in-flight band inputs — is over cap even though the store
+    /// alone is not. Bands already [`Self::stage`]d drop instantly.
+    pub fn evict_one(&mut self) -> Result<bool, SparseError> {
+        let Some(pos) = self.slots.iter().position(|s| s.band.is_some()) else {
+            return Ok(false);
+        };
+        if !self.slots[pos].staged {
+            let dir = self.ensure_dir()?;
+            let slot = &self.slots[pos];
+            let m = slot
+                .band
+                .as_ref()
+                .expect("position() found a resident slot");
+            let mut file = std::fs::File::create(Self::chunk_path(&dir, slot.shard))?;
+            write_csr_chunk(m, &mut file)?;
+        }
+        let m = self.slots[pos]
+            .band
+            .take()
+            .expect("position() found a resident slot");
+        self.resident_bytes -= m.byte_size();
+        self.spilled += 1;
+        Ok(true)
+    }
+
+    /// Restore every band in index order (memory or disk) and remove the
+    /// spill directory. The synchronous fallback's batch restore.
+    pub fn drain(&mut self) -> Result<Vec<CsrMatrix<T>>, SparseError> {
         let mut slots = std::mem::take(&mut self.slots);
-        slots.sort_by_key(|(idx, _)| *idx);
+        slots.sort_by_key(|s| s.shard);
         let mut out = Vec::with_capacity(slots.len());
-        for (idx, slot) in slots {
-            match slot {
+        for slot in slots {
+            match slot.band {
                 Some(m) => out.push(m),
                 None => {
                     let dir = self.dir.as_ref().expect("spilled shard without a dir");
-                    let file = std::fs::File::open(Self::chunk_path(dir, idx))?;
-                    let mut reader = std::io::BufReader::new(file);
-                    out.push(read_csr_chunk(&mut reader)?);
+                    let mut file = std::fs::File::open(Self::chunk_path(dir, slot.shard))?;
+                    out.push(read_csr_chunk(&mut file)?);
                 }
             }
         }
@@ -397,6 +906,130 @@ impl<T: Scalar> SpillStore<T> {
             let _ = std::fs::remove_dir_all(dir);
         }
         Ok(out)
+    }
+
+    /// Stitch every band (index order) into one matrix without ever
+    /// holding all bands resident: a sizing pass reads the 40-byte header
+    /// of each spilled chunk (resident bands are sized directly) to
+    /// allocate the final arrays once, then bands append one at a time —
+    /// with a prefetch thread decoding the *next* spilled chunk
+    /// (double-buffered `sync_channel(1)`) while the current band's
+    /// indptr fix-up memcpy runs. Consumes the store; the spill directory
+    /// is removed on the way out.
+    pub fn into_stitched(mut self, ncols: usize) -> Result<CsrMatrix<T>, SparseError> {
+        let mut slots = std::mem::take(&mut self.slots);
+        slots.sort_by_key(|s| s.shard);
+
+        // Sizing pass: per-band headers, no band bodies.
+        let mut nrows = 0usize;
+        let mut nnz = 0usize;
+        for slot in &slots {
+            match &slot.band {
+                Some(m) => {
+                    nrows += m.nrows();
+                    nnz += m.nnz();
+                }
+                None => {
+                    let dir = self.dir.as_ref().expect("spilled shard without a dir");
+                    let mut file = std::fs::File::open(Self::chunk_path(dir, slot.shard))?;
+                    let header = read_csr_chunk_header(&mut file)?;
+                    nrows += header.nrows;
+                    nnz += header.nnz;
+                }
+            }
+        }
+
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0);
+        let mut base = 0usize;
+
+        fn append_band<T: Scalar>(
+            band: &CsrMatrix<T>,
+            ncols: usize,
+            indptr: &mut Vec<usize>,
+            indices: &mut Vec<u32>,
+            values: &mut Vec<T>,
+            base: &mut usize,
+        ) {
+            debug_assert_eq!(band.ncols(), ncols, "bands must share the output width");
+            indptr.extend(band.indptr()[1..].iter().map(|&p| p + *base));
+            indices.extend_from_slice(band.indices());
+            values.extend_from_slice(band.values());
+            *base += band.nnz();
+        }
+
+        let spilled_idx: Vec<usize> = slots
+            .iter()
+            .filter(|s| s.band.is_none())
+            .map(|s| s.shard)
+            .collect();
+        if spilled_idx.is_empty() {
+            for slot in slots {
+                let band = slot.band.expect("resident slot");
+                append_band(
+                    &band,
+                    ncols,
+                    &mut indptr,
+                    &mut indices,
+                    &mut values,
+                    &mut base,
+                );
+            }
+        } else {
+            let dir = self.dir.clone().expect("spilled shard without a dir");
+            std::thread::scope(|s| -> Result<(), SparseError> {
+                // The prefetch thread ships raw chunk bytes (one
+                // `fs::read` per file); the consumer splits and appends
+                // them straight into the final arrays — no per-chunk
+                // matrix materialization or double copy.
+                let (tx, rx) = mpsc::sync_channel::<Result<Vec<u8>, SparseError>>(1);
+                s.spawn(move || {
+                    for idx in spilled_idx {
+                        let chunk =
+                            std::fs::read(Self::chunk_path(&dir, idx)).map_err(SparseError::from);
+                        let failed = chunk.is_err();
+                        // A closed receiver (consumer error/panic) or a
+                        // read failure both end the prefetch.
+                        if tx.send(chunk).is_err() || failed {
+                            break;
+                        }
+                    }
+                });
+                for slot in slots {
+                    match slot.band {
+                        Some(band) => append_band(
+                            &band,
+                            ncols,
+                            &mut indptr,
+                            &mut indices,
+                            &mut values,
+                            &mut base,
+                        ),
+                        None => {
+                            let bytes = rx.recv().map_err(|_| {
+                                SparseError::Io("spill prefetch thread exited early".into())
+                            })??;
+                            let regions = split_csr_chunk::<T>(&bytes)?;
+                            debug_assert_eq!(
+                                regions.header.ncols, ncols,
+                                "bands must share the output width"
+                            );
+                            indptr.extend(regions.indptr_iter().skip(1).map(|p| p + base));
+                            regions.extend_indices(&mut indices);
+                            regions.extend_values(&mut values);
+                            base += regions.header.nnz;
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        // `self` drops here, removing the spill directory.
+        Ok(CsrMatrix::from_parts_unchecked(
+            nrows, ncols, indptr, indices, values,
+        ))
     }
 }
 
@@ -509,6 +1142,7 @@ mod tests {
                 assert_eq!(out.spilled_shards, 3, "byte_cap 0 must spill every shard");
             } else {
                 assert_eq!(out.spilled_shards, 0);
+                assert_eq!(out.pipe, None, "pooled mode has no pipeline");
             }
         }
     }
@@ -564,5 +1198,159 @@ mod tests {
             assert!(pair[1].b_shift_bytes < pair[0].b_shift_bytes);
             assert!(pair[1].resident_bytes > pair[0].resident_bytes);
         }
+    }
+
+    /// Serializes the tests that flip the process-global [`io_mode`] pin.
+    static IO_MODE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Largest per-band working set (input + C bytes) for a plan — the
+    /// "one in-flight band" slack the budget's peak guarantee allows.
+    fn max_band_working_set(a: &CsrMatrix<f64>, c: &CsrMatrix<f64>, plan: &ShardPlan) -> usize {
+        (0..plan.shards())
+            .map(|i| a.row_band_byte_size(plan.band(i)) + c.row_band_byte_size(plan.band(i)))
+            .max()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipelined_matches_sync_fallback_and_honors_budget() {
+        let _guard = IO_MODE_LOCK.lock().unwrap();
+        let a = matrix(21);
+        let b = matrix(22);
+        let config = HhCpuConfig::default();
+        let mut ctx = HeteroContext::paper().with_host_threads(4);
+        let mono = hh_cpu(&mut ctx, &a, &b, &config);
+        for byte_cap in [0usize, 1, mono.c.byte_size() / 2, usize::MAX / 2] {
+            let shard = ShardConfig::out_of_core(6, byte_cap);
+            io_mode::set_forced(Some(false));
+            let sync = hh_cpu_sharded(&mut ctx, &a, &b, &config, &shard);
+            io_mode::set_forced(Some(true));
+            let piped = hh_cpu_sharded(&mut ctx, &a, &b, &config, &shard);
+            io_mode::set_forced(None);
+
+            assert_eq!(sync.pipe, None, "sync fallback must not report a pipeline");
+            assert_eq!(
+                piped.output.c, mono.c,
+                "pipelined C drifted (cap {byte_cap})"
+            );
+            assert_eq!(piped.output.c, sync.output.c);
+            assert_eq!(piped.per_shard, sync.per_shard);
+            assert_eq!(piped.output.profile, sync.output.profile);
+            assert_eq!(piped.output.tuples_merged, sync.output.tuples_merged);
+            assert_eq!(piped.spilled_shards, sync.spilled_shards);
+
+            let stats = piped.pipe.expect("pipelined run must report stats");
+            assert_eq!(stats.byte_cap, byte_cap);
+            assert!(stats.workers >= 1);
+            let slack = max_band_working_set(&a, &mono.c, &piped.plan);
+            assert!(
+                stats.peak_resident_bytes <= byte_cap.saturating_add(slack),
+                "peak {} exceeds cap {} + one band {}",
+                stats.peak_resident_bytes,
+                byte_cap,
+                slack
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_is_the_default_out_of_core_path() {
+        let _guard = IO_MODE_LOCK.lock().unwrap();
+        io_mode::set_forced(Some(true));
+        let a = matrix(23);
+        let mut ctx = HeteroContext::paper().with_host_threads(2);
+        let config = HhCpuConfig::default();
+        let out = hh_cpu_sharded(&mut ctx, &a, &a, &config, &ShardConfig::out_of_core(4, 1));
+        io_mode::set_forced(None);
+        assert!(out.pipe.is_some());
+        assert_eq!(
+            out.spilled_shards, 4,
+            "a 1-byte cap must spill every band in the pipelined path too"
+        );
+    }
+
+    #[test]
+    fn spill_store_removes_dir_on_drain_and_stitch() {
+        let bands: Vec<CsrMatrix<f64>> = (0..4).map(|i| matrix(30 + i).row_band(0..50)).collect();
+        // drain path
+        let mut store = SpillStore::new(0);
+        for (i, band) in bands.iter().enumerate() {
+            store.push(i, band.clone()).unwrap();
+        }
+        let dir = store.dir_path().expect("cap 0 must spill").to_path_buf();
+        assert!(dir.exists());
+        let restored = store.drain().unwrap();
+        assert_eq!(&restored, &bands);
+        assert!(!dir.exists(), "drain must remove the spill dir");
+        // streaming stitch path, mixed resident/spilled slots: a cap of
+        // one max-size band keeps the newest band resident, spills the rest
+        let cap = bands.iter().map(CsrMatrix::byte_size).max().unwrap() + 1;
+        let mut store = SpillStore::new(cap);
+        for (i, band) in bands.iter().enumerate() {
+            store.push(i, band.clone()).unwrap();
+        }
+        assert!(store.spilled() > 0 && store.spilled() < bands.len());
+        let dir = store.dir_path().unwrap().to_path_buf();
+        let stitched = store.into_stitched(bands[0].ncols()).unwrap();
+        assert_eq!(stitched, concat_row_bands(&bands, bands[0].ncols()));
+        assert!(!dir.exists(), "into_stitched must remove the spill dir");
+    }
+
+    #[test]
+    fn spill_store_removes_dir_on_early_drop_and_unwind() {
+        let band: CsrMatrix<f64> = matrix(40).row_band(10..60);
+        // early error / abandoned store: drop without drain
+        let mut store = SpillStore::new(0);
+        store.push(0, band.clone()).unwrap();
+        let dir = store.dir_path().unwrap().to_path_buf();
+        assert!(dir.exists());
+        drop(store);
+        assert!(!dir.exists(), "Drop must remove the spill dir");
+        // panic unwind: the store dies mid-use inside a panicking scope
+        let dir_cell = Mutex::new(None);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut store = SpillStore::new(0);
+            store.push(0, band.clone()).unwrap();
+            *dir_cell.lock().unwrap() = Some(store.dir_path().unwrap().to_path_buf());
+            panic!("simulated band failure");
+        }));
+        assert!(unwound.is_err());
+        let dir = dir_cell.lock().unwrap().take().unwrap();
+        assert!(!dir.exists(), "panic unwind must remove the spill dir");
+    }
+
+    #[test]
+    fn writer_thread_shutdown_leaves_no_spill_files() {
+        // The pipelined mode's spill thread owns the store; whatever way
+        // the thread ends — clean return or panic unwind — the store's
+        // Drop must take the spill directory with it.
+        let band: CsrMatrix<f64> = matrix(41).row_band(0..40);
+        let clean = std::thread::spawn({
+            let band = band.clone();
+            move || {
+                let mut store = SpillStore::new(0);
+                store.push(0, band).unwrap();
+                store.dir_path().unwrap().to_path_buf()
+                // store dropped as the thread returns
+            }
+        })
+        .join()
+        .unwrap();
+        assert!(!clean.exists(), "clean writer shutdown orphaned {clean:?}");
+
+        let dir_cell = std::sync::Arc::new(Mutex::new(None));
+        let panicked = std::thread::spawn({
+            let dir_cell = dir_cell.clone();
+            move || {
+                let mut store = SpillStore::new(0);
+                store.push(0, band).unwrap();
+                *dir_cell.lock().unwrap() = Some(store.dir_path().unwrap().to_path_buf());
+                panic!("simulated spill-thread failure");
+            }
+        })
+        .join();
+        assert!(panicked.is_err());
+        let dir = dir_cell.lock().unwrap().take().unwrap();
+        assert!(!dir.exists(), "panicking writer shutdown orphaned {dir:?}");
     }
 }

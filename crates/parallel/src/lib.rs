@@ -14,11 +14,13 @@
 //! on real multicore hosts.
 
 pub mod disjoint;
+pub mod ordered;
 pub mod pool;
 pub mod scan;
 pub mod sort;
 
 pub use disjoint::DisjointSlice;
+pub use ordered::OrderedCommitter;
 pub use pool::ThreadPool;
 pub use scan::{exclusive_scan, inclusive_scan};
 pub use sort::par_sort_by_key;

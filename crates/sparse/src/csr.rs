@@ -368,6 +368,24 @@ impl<T: Scalar> CsrMatrix<T> {
             + self.values.len() * std::mem::size_of::<T>()
     }
 
+    /// [`CsrMatrix::byte_size`] of the matrix [`CsrMatrix::row_band`]
+    /// would return for `rows`, computed from the row pointers alone.
+    /// The sharded driver's admission gate prices a band's input bytes
+    /// with this before deciding whether to materialize the band at all.
+    pub fn row_band_byte_size(&self, rows: std::ops::Range<usize>) -> usize {
+        assert!(
+            rows.start <= rows.end && rows.end <= self.nrows,
+            "row band {}..{} out of bounds for {} rows",
+            rows.start,
+            rows.end,
+            self.nrows
+        );
+        let nnz = self.indptr[rows.end] - self.indptr[rows.start];
+        (rows.len() + 1) * std::mem::size_of::<usize>()
+            + nnz * std::mem::size_of::<ColIndex>()
+            + nnz * std::mem::size_of::<T>()
+    }
+
     /// Deterministic 64-bit content hash over the exact stored
     /// representation: shape, row pointers, column indices, and the *bit
     /// patterns* of the values (FNV-1a). Two matrices hash equal iff they
@@ -635,6 +653,19 @@ mod tests {
             assert_eq!(nnz, a.nnz());
         }
         assert!(nnz > 0);
+    }
+
+    #[test]
+    fn row_band_byte_size_matches_materialized_band() {
+        let a = example();
+        let n = a.nrows();
+        for range in [0..n, 0..0, 1..3, 2..2, 0..1, n - 1..n] {
+            assert_eq!(
+                a.row_band_byte_size(range.clone()),
+                a.row_band(range.clone()).byte_size(),
+                "predicted band bytes must equal the materialized band for {range:?}"
+            );
+        }
     }
 
     #[test]

@@ -188,6 +188,89 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
 /// [`write_csr_chunk`]). Version-suffixed so a layout change can bump it.
 pub const CSR_CHUNK_MAGIC: &[u8; 8] = b"SPMMCSR1";
 
+/// Append the raw bytes of a numeric slice to `buf`. On little-endian
+/// targets those bytes are exactly the chunk wire layout, so the encoders
+/// below use this as a memcpy fast path instead of per-element
+/// `to_le_bytes` loops.
+#[inline]
+fn extend_bytes_of<E: Copy>(buf: &mut Vec<u8>, slice: &[E]) {
+    // SAFETY: `E` is one of the plain numeric types this module encodes
+    // (u32/usize/f32/f64) — no padding bytes, so viewing the initialized
+    // elements as raw bytes is always valid.
+    let bytes = unsafe {
+        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
+    };
+    buf.extend_from_slice(bytes);
+}
+
+/// Append elements decoded from a little-endian byte stream to `dst` by
+/// bulk copy. Callers gate on `cfg!(target_endian = "little")` (and, for
+/// `usize`, a 64-bit target) so the reinterpretation matches the wire
+/// layout; big-endian targets take the per-element fallback instead.
+#[inline]
+fn extend_pod_from_le_bytes<E: Copy>(dst: &mut Vec<E>, bytes: &[u8]) {
+    let size = std::mem::size_of::<E>();
+    debug_assert_eq!(bytes.len() % size, 0);
+    let n = bytes.len() / size;
+    dst.reserve(n);
+    let old = dst.len();
+    // SAFETY: `E` is a plain numeric type for which every bit pattern is
+    // a valid value; `reserve` guaranteed capacity for `n` more elements,
+    // and the copy fills exactly those `n * size` bytes before `set_len`
+    // exposes them.
+    unsafe {
+        std::ptr::copy_nonoverlapping(
+            bytes.as_ptr(),
+            dst.as_mut_ptr().add(old).cast::<u8>(),
+            bytes.len(),
+        );
+        dst.set_len(old + n);
+    }
+}
+
+/// Whether `usize` can be bulk-copied as the wire's `u64` row offsets.
+#[inline]
+fn usize_is_le_u64() -> bool {
+    cfg!(target_endian = "little") && std::mem::size_of::<usize>() == 8
+}
+
+fn extend_indptr_from_le(dst: &mut Vec<usize>, bytes: &[u8]) {
+    if usize_is_le_u64() {
+        extend_pod_from_le_bytes(dst, bytes);
+    } else {
+        dst.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|w| u64::from_le_bytes(w.try_into().expect("8-byte chunk")) as usize),
+        );
+    }
+}
+
+fn extend_indices_from_le(dst: &mut Vec<u32>, bytes: &[u8]) {
+    if cfg!(target_endian = "little") {
+        extend_pod_from_le_bytes(dst, bytes);
+    } else {
+        dst.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|w| u32::from_le_bytes(w.try_into().expect("4-byte chunk"))),
+        );
+    }
+}
+
+fn extend_values_from_le<T: Scalar>(dst: &mut Vec<T>, bytes: &[u8], dtype: usize) {
+    debug_assert_eq!(dtype, std::mem::size_of::<T>());
+    if cfg!(target_endian = "little") {
+        extend_pod_from_le_bytes(dst, bytes);
+    } else {
+        dst.extend(bytes.chunks_exact(dtype).map(|w| {
+            let mut bits = [0u8; 8];
+            bits[..dtype].copy_from_slice(w);
+            T::from_value_bits(u64::from_le_bytes(bits))
+        }));
+    }
+}
+
 /// Write a CSR matrix as a binary spill chunk.
 ///
 /// This is the out-of-core shard format: a fixed little-endian layout that
@@ -209,40 +292,75 @@ pub const CSR_CHUNK_MAGIC: &[u8; 8] = b"SPMMCSR1";
 /// Arrays are laid out contiguously and aligned only to their element size,
 /// which keeps the format mmap-friendly for a future reader that maps the
 /// chunk instead of copying it.
+///
+/// The encoder assembles the whole chunk in one exactly-sized memory
+/// buffer and issues a single `write_all` — callers hand in the raw sink
+/// (a `File` on the spill path) and get one coalesced write with
+/// bit-identical bytes, no per-element I/O on the spill critical path.
 pub fn write_csr_chunk<T: Scalar, W: Write>(
     matrix: &CsrMatrix<T>,
     writer: &mut W,
 ) -> Result<(), SparseError> {
-    let dtype = std::mem::size_of::<T>() as u64;
-    writer.write_all(CSR_CHUNK_MAGIC)?;
+    let dtype = std::mem::size_of::<T>();
+    let total = CSR_CHUNK_MAGIC.len()
+        + 4 * 8
+        + (matrix.nrows() + 1) * 8
+        + matrix.nnz() * 4
+        + matrix.nnz() * dtype;
+    let mut buf = Vec::with_capacity(total);
+    buf.extend_from_slice(CSR_CHUNK_MAGIC);
     for header in [
-        dtype,
+        dtype as u64,
         matrix.nrows() as u64,
         matrix.ncols() as u64,
         matrix.nnz() as u64,
     ] {
-        writer.write_all(&header.to_le_bytes())?;
+        buf.extend_from_slice(&header.to_le_bytes());
     }
-    for &p in matrix.indptr() {
-        writer.write_all(&(p as u64).to_le_bytes())?;
+    if usize_is_le_u64() {
+        extend_bytes_of(&mut buf, matrix.indptr());
+    } else {
+        for &p in matrix.indptr() {
+            buf.extend_from_slice(&(p as u64).to_le_bytes());
+        }
     }
-    for &c in matrix.indices() {
-        writer.write_all(&c.to_le_bytes())?;
+    if cfg!(target_endian = "little") {
+        extend_bytes_of(&mut buf, matrix.indices());
+        extend_bytes_of(&mut buf, matrix.values());
+    } else {
+        for &c in matrix.indices() {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        for &v in matrix.values() {
+            let bits = v.value_bits();
+            buf.extend_from_slice(&bits.to_le_bytes()[..dtype]);
+        }
     }
-    for &v in matrix.values() {
-        let bits = v.value_bits();
-        writer.write_all(&bits.to_le_bytes()[..dtype as usize])?;
-    }
+    debug_assert_eq!(buf.len(), total);
+    writer.write_all(&buf)?;
+    writer.flush()?;
     Ok(())
 }
 
-/// Read a binary CSR spill chunk written by [`write_csr_chunk`].
-///
-/// Validates the magic, the dtype tag against `T`, and (via
-/// [`CsrMatrix::try_new`]) the structural invariants of the arrays, so a
-/// truncated or cross-typed chunk fails loudly instead of producing a
-/// corrupt matrix.
-pub fn read_csr_chunk<T: Scalar, R: Read>(reader: &mut R) -> Result<CsrMatrix<T>, SparseError> {
+/// Fixed-size header of a CSR spill chunk: everything a reader needs to
+/// size the arrays before decoding them. The streaming shard stitch reads
+/// just this (40 bytes) from every spilled chunk to pre-allocate the final
+/// matrix, then decodes chunk bodies one band at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrChunkHeader {
+    /// `size_of::<T>()` of the stored value type (4 = f32, 8 = f64).
+    pub dtype_bytes: usize,
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored entries.
+    pub nnz: usize,
+}
+
+/// Read and validate the magic + header of a CSR spill chunk, leaving the
+/// reader positioned at the start of the `indptr` array.
+pub fn read_csr_chunk_header<R: Read>(reader: &mut R) -> Result<CsrChunkHeader, SparseError> {
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
     if &magic != CSR_CHUNK_MAGIC {
@@ -256,7 +374,22 @@ pub fn read_csr_chunk<T: Scalar, R: Read>(reader: &mut R) -> Result<CsrMatrix<T>
         reader.read_exact(&mut word)?;
         Ok(u64::from_le_bytes(word))
     };
-    let dtype = read_u64(reader)? as usize;
+    Ok(CsrChunkHeader {
+        dtype_bytes: read_u64(reader)? as usize,
+        nrows: read_u64(reader)? as usize,
+        ncols: read_u64(reader)? as usize,
+        nnz: read_u64(reader)? as usize,
+    })
+}
+
+/// Decode the array body of a CSR spill chunk whose header was already
+/// consumed by [`read_csr_chunk_header`]. Validates the header's dtype
+/// against `T` and the structural invariants via [`CsrMatrix::try_new`].
+pub fn read_csr_chunk_body<T: Scalar, R: Read>(
+    header: &CsrChunkHeader,
+    reader: &mut R,
+) -> Result<CsrMatrix<T>, SparseError> {
+    let dtype = header.dtype_bytes;
     if dtype != std::mem::size_of::<T>() {
         return Err(SparseError::Parse {
             line: 0,
@@ -267,26 +400,113 @@ pub fn read_csr_chunk<T: Scalar, R: Read>(reader: &mut R) -> Result<CsrMatrix<T>
             ),
         });
     }
-    let nrows = read_u64(reader)? as usize;
-    let ncols = read_u64(reader)? as usize;
-    let nnz = read_u64(reader)? as usize;
-    let mut indptr = Vec::with_capacity(nrows + 1);
-    for _ in 0..nrows + 1 {
-        indptr.push(read_u64(reader)? as usize);
-    }
-    let mut indices = Vec::with_capacity(nnz);
-    let mut half = [0u8; 4];
-    for _ in 0..nnz {
-        reader.read_exact(&mut half)?;
-        indices.push(u32::from_le_bytes(half));
-    }
-    let mut values = Vec::with_capacity(nnz);
-    let mut bits = [0u8; 8];
-    for _ in 0..nnz {
-        reader.read_exact(&mut bits[..dtype])?;
-        values.push(T::from_value_bits(u64::from_le_bytes(bits)));
-    }
+    let (nrows, ncols, nnz) = (header.nrows, header.ncols, header.nnz);
+    // Bulk decode: one sized read per array, then a tight in-memory
+    // conversion loop — no per-element I/O calls.
+    let mut bytes = vec![0u8; (nrows + 1) * 8];
+    reader.read_exact(&mut bytes)?;
+    let mut indptr: Vec<usize> = Vec::new();
+    extend_indptr_from_le(&mut indptr, &bytes);
+    let mut bytes = vec![0u8; nnz * 4];
+    reader.read_exact(&mut bytes)?;
+    let mut indices: Vec<u32> = Vec::new();
+    extend_indices_from_le(&mut indices, &bytes);
+    let mut bytes = vec![0u8; nnz * dtype];
+    reader.read_exact(&mut bytes)?;
+    let mut values: Vec<T> = Vec::new();
+    extend_values_from_le(&mut values, &bytes, dtype);
     CsrMatrix::try_new(nrows, ncols, indptr, indices, values)
+}
+
+/// Borrowed view of one chunk's array regions inside a fully-read chunk
+/// byte buffer: a zero-copy split plus size validation, for consumers
+/// that append the arrays straight into a larger allocation (the shard
+/// stitch) instead of materializing a matrix per chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrChunkRegions<'a> {
+    /// The decoded fixed-size header.
+    pub header: CsrChunkHeader,
+    /// `(nrows + 1) × u64` little-endian row offsets.
+    pub indptr: &'a [u8],
+    /// `nnz × u32` little-endian column indices.
+    pub indices: &'a [u8],
+    /// `nnz × dtype` little-endian IEEE bit patterns.
+    pub values: &'a [u8],
+}
+
+impl CsrChunkRegions<'_> {
+    /// The row offsets, decoded one at a time.
+    pub fn indptr_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.indptr
+            .chunks_exact(8)
+            .map(|w| u64::from_le_bytes(w.try_into().expect("8-byte chunk")) as usize)
+    }
+
+    /// Append every column index to `dst`.
+    pub fn extend_indices(&self, dst: &mut Vec<u32>) {
+        extend_indices_from_le(dst, self.indices);
+    }
+
+    /// Append every value to `dst`, preserving bit patterns.
+    pub fn extend_values<T: Scalar>(&self, dst: &mut Vec<T>) {
+        extend_values_from_le(dst, self.values, self.header.dtype_bytes);
+    }
+}
+
+/// Split a fully-read chunk byte buffer (as produced by
+/// [`write_csr_chunk`]) into its header and borrowed array regions.
+/// Validates the magic, the dtype against `T`, and that the buffer holds
+/// exactly the bytes the header promises — but not the CSR structural
+/// invariants, which the borrowing consumer checks (or trusts) itself.
+pub fn split_csr_chunk<T: Scalar>(bytes: &[u8]) -> Result<CsrChunkRegions<'_>, SparseError> {
+    let mut cursor = bytes;
+    let header = read_csr_chunk_header(&mut cursor)?;
+    if header.dtype_bytes != std::mem::size_of::<T>() {
+        return Err(SparseError::Parse {
+            line: 0,
+            msg: format!(
+                "CSR chunk dtype is {} bytes, expected {} for {}",
+                header.dtype_bytes,
+                std::mem::size_of::<T>(),
+                std::any::type_name::<T>()
+            ),
+        });
+    }
+    let (indptr_len, indices_len) = ((header.nrows + 1) * 8, header.nnz * 4);
+    let values_len = header.nnz * header.dtype_bytes;
+    if cursor.len() != indptr_len + indices_len + values_len {
+        return Err(SparseError::Parse {
+            line: 0,
+            msg: format!(
+                "CSR chunk body is {} bytes, header promises {}",
+                cursor.len(),
+                indptr_len + indices_len + values_len
+            ),
+        });
+    }
+    let (indptr, rest) = cursor.split_at(indptr_len);
+    let (indices, values) = rest.split_at(indices_len);
+    Ok(CsrChunkRegions {
+        header,
+        indptr,
+        indices,
+        values,
+    })
+}
+
+/// Read a binary CSR spill chunk written by [`write_csr_chunk`].
+///
+/// Validates the magic, the dtype tag against `T`, and (via
+/// [`CsrMatrix::try_new`]) the structural invariants of the arrays, so a
+/// truncated or cross-typed chunk fails loudly instead of producing a
+/// corrupt matrix. The reader is wrapped in a [`BufReader`] internally
+/// (the header reads are small; the bulk array reads pass through it) —
+/// note this may read ahead past the chunk's last byte, which is fine for
+/// the chunk-per-file spill layout this format serves.
+pub fn read_csr_chunk<T: Scalar, R: Read>(reader: &mut R) -> Result<CsrMatrix<T>, SparseError> {
+    let mut reader = BufReader::new(reader);
+    let header = read_csr_chunk_header(&mut reader)?;
+    read_csr_chunk_body(&header, &mut reader)
 }
 
 /// Write a CSR matrix as `matrix coordinate real general`.
@@ -458,6 +678,100 @@ mod tests {
         }
         assert_eq!(back64.content_hash(), m64.content_hash());
         assert_eq!(back32.content_hash(), m32.content_hash());
+    }
+
+    #[test]
+    fn chunk_byte_layout_is_pinned() {
+        // the exact SPMMCSR1 byte stream is a format contract: buffering
+        // the writer must not change a single byte
+        let m = CsrMatrix::try_new(1, 2, vec![0, 1], vec![1], vec![1.0f64]).unwrap();
+        let mut buf = Vec::new();
+        write_csr_chunk(&m, &mut buf).unwrap();
+        let mut expect = Vec::new();
+        expect.extend_from_slice(b"SPMMCSR1");
+        for word in [8u64, 1, 2, 1] {
+            expect.extend_from_slice(&word.to_le_bytes());
+        }
+        for p in [0u64, 1] {
+            expect.extend_from_slice(&p.to_le_bytes());
+        }
+        expect.extend_from_slice(&1u32.to_le_bytes());
+        expect.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn chunk_header_then_body_matches_full_read() {
+        let m = CsrMatrix::try_new(
+            5,
+            3,
+            vec![0, 0, 2, 2, 3, 3],
+            vec![0, 2, 1],
+            vec![1.5f64, -2.5, 0.25],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csr_chunk(&m, &mut buf).unwrap();
+        let mut cursor = &buf[..];
+        let header = read_csr_chunk_header(&mut cursor).unwrap();
+        assert_eq!(
+            header,
+            CsrChunkHeader {
+                dtype_bytes: 8,
+                nrows: 5,
+                ncols: 3,
+                nnz: 3
+            }
+        );
+        let body: CsrMatrix<f64> = read_csr_chunk_body(&header, &mut cursor).unwrap();
+        assert_eq!(body, m);
+        assert!(cursor.is_empty(), "body must consume the chunk exactly");
+        assert_eq!(chunk_roundtrip(&m), body);
+    }
+
+    #[test]
+    fn chunk_split_regions_reassemble_the_matrix() {
+        let m = CsrMatrix::try_new(
+            5,
+            3,
+            vec![0, 0, 2, 2, 3, 3],
+            vec![0, 2, 1],
+            vec![1.5f64, -2.5, 0.25],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csr_chunk(&m, &mut buf).unwrap();
+        let regions = split_csr_chunk::<f64>(&buf).unwrap();
+        assert_eq!(regions.header.nrows, 5);
+        assert_eq!(regions.header.nnz, 3);
+        let indptr: Vec<usize> = regions.indptr_iter().collect();
+        assert_eq!(indptr, vec![0, 0, 2, 2, 3, 3]);
+        let mut indices = Vec::new();
+        regions.extend_indices(&mut indices);
+        assert_eq!(indices, vec![0, 2, 1]);
+        let mut values = Vec::new();
+        regions.extend_values::<f64>(&mut values);
+        assert_eq!(values, vec![1.5, -2.5, 0.25]);
+        // a truncated body fails the exact-size check
+        let short = &buf[..buf.len() - 1];
+        assert!(matches!(
+            split_csr_chunk::<f64>(short).unwrap_err(),
+            SparseError::Parse { .. }
+        ));
+        // and the wrong dtype is rejected before any region math
+        assert!(split_csr_chunk::<f32>(&buf).is_err());
+    }
+
+    #[test]
+    fn chunk_header_rejects_truncation() {
+        let m = CsrMatrix::try_new(1, 1, vec![0, 1], vec![0], vec![1.0f64]).unwrap();
+        let mut buf = Vec::new();
+        write_csr_chunk(&m, &mut buf).unwrap();
+        let short = &buf[..20];
+        assert!(matches!(
+            read_csr_chunk_header(&mut &short[..]).unwrap_err(),
+            SparseError::Io(_)
+        ));
     }
 
     #[test]

@@ -118,6 +118,12 @@ pub struct MultiplyRequest {
     /// artifacts (the plan is shard-invariant) and reply with a `C`
     /// bit-identical to the monolithic multiply.
     pub shards: Option<usize>,
+    /// Resident-byte budget; `Some` routes the request through
+    /// [`spmm_core::ShardMode::OutOfCore`] (pipelined band compute +
+    /// write-behind spill under the cap) instead of the pooled driver. An
+    /// execution-mode knob: C stays bit-identical and the artifact cache
+    /// key is unchanged (artifacts are mode-invariant).
+    pub byte_cap: Option<usize>,
 }
 
 impl MultiplyRequest {
@@ -129,12 +135,19 @@ impl MultiplyRequest {
             policy: ThresholdPolicy::default(),
             scale: None,
             shards: None,
+            byte_cap: None,
         }
     }
 
     /// Same request, executed as `shards` row bands.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Same request, executed out-of-core under `byte_cap` resident bytes.
+    pub fn with_byte_cap(mut self, byte_cap: usize) -> Self {
+        self.byte_cap = Some(byte_cap);
         self
     }
 }
@@ -514,16 +527,16 @@ impl SpmmService {
             policy: request.policy,
             ..HhCpuConfig::default()
         };
-        let output = if shards > 1 {
-            hh_cpu_sharded_with_artifacts(
-                &mut ctx,
-                &a,
-                &b,
-                &config,
-                &ShardConfig::pooled(shards),
-                &artifacts,
-            )
-            .output
+        let output = if shards > 1 || request.byte_cap.is_some() {
+            // byte_cap selects the out-of-core mode on the same sharded
+            // driver (and same artifacts) the pooled path uses; a capped
+            // request without an explicit shard count runs as one band.
+            let shard_config = match request.byte_cap {
+                Some(byte_cap) => ShardConfig::out_of_core(shards, byte_cap),
+                None => ShardConfig::pooled(shards),
+            };
+            hh_cpu_sharded_with_artifacts(&mut ctx, &a, &b, &config, &shard_config, &artifacts)
+                .output
         } else {
             hh_cpu_with_artifacts(&mut ctx, &a, &b, &config, &artifacts)
         };

@@ -185,6 +185,7 @@ pub fn parse_multiply(item: &Json) -> Result<MultiplyRequest, String> {
         policy: parse_policy(item.get("policy"))?,
         scale: item.usize_field("scale"),
         shards: item.usize_field("shards"),
+        byte_cap: item.usize_field("byte_cap"),
     })
 }
 

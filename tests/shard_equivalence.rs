@@ -21,7 +21,12 @@
 //! `SPMM_SHARD_BYTE_CAP` (bytes) pins the out-of-core spill cap; the CI
 //! shard-smoke job sets it to `1` so every shard takes the disk
 //! round-trip. Unset, the cap defaults to half the product's CSR bytes,
-//! which still forces spills on every clone.
+//! which still forces spills on every clone. The out-of-core legs run
+//! whichever I/O path `SPMM_SHARD_IO_THREADS` selects: the pipelined
+//! overlap driver by default, the synchronous fallback when CI pins the
+//! variable to `0` — both must produce the same bits, and the pipelined
+//! runs additionally assert the resident-byte ceiling
+//! (`peak ≤ byte_cap + one band working set`, DESIGN.md §3.9).
 
 use hetero_spmm::core::{
     hh_cpu_sharded_with_artifacts, shard::sum_profiles, SpmmArtifacts, ThresholdPolicy,
@@ -129,8 +134,29 @@ fn exercise_clone(name: &str) {
                         if cap < mono.c.byte_size() {
                             assert!(out.spilled_shards >= 1, "{what}: cap never spilled");
                         }
+                        if let Some(pipe) = &out.pipe {
+                            // one band's A slice + C band may exceed the cap
+                            // while in flight, never more (DESIGN.md §3.9)
+                            let working_set = (0..out.plan.shards())
+                                .map(|i| {
+                                    a.row_band_byte_size(out.plan.band(i))
+                                        + mono.c.row_band_byte_size(out.plan.band(i))
+                                })
+                                .max()
+                                .unwrap();
+                            assert!(
+                                pipe.peak_resident_bytes <= cap.saturating_add(working_set),
+                                "{what}: peak resident {} exceeds cap {cap} + band {working_set}",
+                                pipe.peak_resident_bytes
+                            );
+                            assert_eq!(pipe.byte_cap, cap, "{what}: stats cap drifted");
+                        }
                     } else {
                         assert_eq!(out.spilled_shards, 0, "{what}: pooled mode spilled");
+                        assert!(
+                            out.pipe.is_none(),
+                            "{what}: pooled mode reported pipe stats"
+                        );
                     }
                     // one band over A ≠ B is exactly the monolithic run
                     if shards == 1 && label == "cross" {
@@ -204,6 +230,41 @@ fn serve_sharded_matches_monolithic() {
     assert!(one.warm);
     assert_eq!(one.output.c, mono.output.c);
     assert_eq!(one.output.profile, mono.output.profile);
+}
+
+/// The wire-exposed out-of-core mode: `byte_cap` on a multiply request
+/// routes through the spill driver but changes no observable bit of `C`,
+/// and the request aliases the same mode-invariant artifacts as the
+/// pooled/monolithic runs (warm, no Phase I rerun).
+#[test]
+fn serve_byte_cap_matches_monolithic() {
+    let service = SpmmService::new(ServiceConfig {
+        host_threads: Some(2),
+        ..ServiceConfig::default()
+    });
+    service.load_dataset("email-Enron", 32).unwrap();
+    let mono = service
+        .multiply(&MultiplyRequest::new("email-Enron", "email-Enron"))
+        .unwrap();
+    assert!(!mono.warm);
+    for (shards, cap) in [(1, 1), (3, 1), (4, usize::MAX / 2)] {
+        let capped = service
+            .multiply(
+                &MultiplyRequest::new("email-Enron", "email-Enron")
+                    .with_shards(shards)
+                    .with_byte_cap(cap),
+            )
+            .unwrap();
+        assert_eq!(
+            capped.output.c, mono.output.c,
+            "shards={shards} cap={cap}: C drifted under the byte cap"
+        );
+        assert_eq!(capped.output.tuples_merged, mono.output.tuples_merged);
+        assert!(
+            capped.warm,
+            "byte-capped request should alias the warm artifacts (shards={shards})"
+        );
+    }
 }
 
 /// Full-size (`SPMM_SCALE=1`) generator specs, runnable only under the
